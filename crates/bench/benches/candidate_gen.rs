@@ -1,0 +1,50 @@
+//! Criterion microbench: `ap_gen` candidate generation (join + prune), the
+//! driver-side step of every YAFIM pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use yafim_core::{ap_gen, Itemset};
+
+/// All 2-itemsets over `n` items — the worst-case dense L2.
+fn dense_l2(n: u32) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            out.push(Itemset::from_sorted(vec![a, b]));
+        }
+    }
+    out
+}
+
+/// Sparse L3: grouped 3-itemsets with shared prefixes.
+fn sparse_l3(groups: u32) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for g in 0..groups {
+        let base = g * 10;
+        for x in 2..7u32 {
+            out.push(Itemset::from_sorted(vec![base, base + 1, base + x]));
+        }
+    }
+    out
+}
+
+fn bench_ap_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ap_gen");
+    g.sample_size(20);
+    for &n in &[30u32, 60, 120] {
+        let l2 = dense_l2(n);
+        g.bench_with_input(BenchmarkId::new("dense_l2", l2.len()), &l2, |b, l2| {
+            b.iter(|| ap_gen(black_box(l2)))
+        });
+    }
+    for &groups in &[100u32, 1000] {
+        let l3 = sparse_l3(groups);
+        g.bench_with_input(BenchmarkId::new("sparse_l3", l3.len()), &l3, |b, l3| {
+            b.iter(|| ap_gen(black_box(l3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ap_gen);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbench: raw engine overheads — one RDD job vs one
+//! MapReduce job over the same small input. Measures the *simulator's* real
+//! cost per job (wall time), complementing the virtual-time figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_mapreduce::{Emitter, MapReduceJob, MrRunner};
+use yafim_rdd::Context;
+
+fn small_cluster() -> SimCluster {
+    SimCluster::with_threads(ClusterSpec::new(4, 2, 1 << 30), CostModel::hadoop_era(), 1)
+}
+
+fn lines(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{} {} {}", i % 50, i % 31, i % 17)).collect()
+}
+
+fn bench_rdd_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_wordcount_10k_lines");
+    g.sample_size(10);
+
+    g.bench_function("rdd", |b| {
+        let cluster = small_cluster();
+        cluster.hdfs().put_overwrite("in.txt", lines(10_000));
+        let ctx = Context::new(cluster);
+        b.iter(|| {
+            let out = ctx
+                .text_file("in.txt", 16)
+                .expect("exists")
+                .flat_map(|l: String| {
+                    l.split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                })
+                .map(|w| (w, 1u64))
+                .reduce_by_key(|a, b| a + b)
+                .collect();
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("mapreduce", |b| {
+        let cluster = small_cluster();
+        cluster.hdfs().put_overwrite("in.txt", lines(10_000));
+        let runner = MrRunner::new(cluster);
+        b.iter(|| {
+            let job = MapReduceJob::new(
+                "wc",
+                "in.txt",
+                |_o, line: &str, em: &mut Emitter<String, u64>, _w| {
+                    for w in line.split_whitespace() {
+                        em.emit(w.to_string(), 1);
+                    }
+                },
+                |k: &String, vs: Vec<u64>, em: &mut Emitter<String, u64>, _w| {
+                    em.emit(k.clone(), vs.into_iter().sum())
+                },
+            )
+            .with_combiner(|_k: &String, vs: Vec<u64>| vs.into_iter().sum());
+            let out = runner.run(job).expect("input exists");
+            black_box(out.pairs.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rdd_job);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Calibration tool (not a paper figure): prints, for each dataset profile
+//! at its paper support, the frequent-itemset level series from the
+//! sequential miner, plus generation stats. Used to tune the generators so
+//! the iteration depth and workload shape match the paper's figures.
+//!
+//! Usage: `cargo run -p yafim-bench --release --bin calibrate [scale]`
+
+use yafim_core::{apriori, SequentialConfig, Support};
+use yafim_data::{stats, PaperDataset};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+
+    let mut datasets: Vec<PaperDataset> = PaperDataset::benchmarks().to_vec();
+    datasets.push(PaperDataset::Medical);
+
+    for ds in datasets {
+        let profile = ds.profile();
+        let start = std::time::Instant::now();
+        let tx = ds.generate_scaled(scale);
+        let gen_time = start.elapsed();
+        let s = stats(&tx);
+
+        let start = std::time::Instant::now();
+        let result = apriori(
+            &tx,
+            &SequentialConfig::new(Support::Fraction(profile.support)),
+        );
+        let mine_time = start.elapsed();
+
+        println!(
+            "{:<12} sup={:>6.2}%  tx={:<7} items={:<5} avg_len={:<5.1} gen={:>6.2?} mine={:>7.2?}",
+            profile.name,
+            profile.support * 100.0,
+            s.transactions,
+            s.distinct_items,
+            s.avg_len,
+            gen_time,
+            mine_time,
+        );
+        println!(
+            "             levels: {:?}  total={} max_len={}",
+            result.level_sizes(),
+            result.total(),
+            result.max_len()
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic hashing.
+//!
+//! The engines hash-partition shuffle data; the default `std` hasher is
+//! randomly seeded per process, which would make partition contents — and
+//! therefore the virtual-time accounting — nondeterministic. This module
+//! provides an in-tree implementation of the Fx hash algorithm (the
+//! `rustc-hash` algorithm: multiply-xor over machine words), which is stable,
+//! extremely fast for the small keys used here, and removes the dependency.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: `hash = (hash rotl 5 ^ word) * SEED` per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` with the deterministic Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the deterministic Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a value to a stable 64-bit digest.
+pub fn fx_hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Deterministically assign a key to one of `buckets` partitions.
+pub fn bucket_of<T: Hash + ?Sized>(value: &T, buckets: usize) -> usize {
+    debug_assert!(buckets > 0);
+    (fx_hash64(value) % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_across_hasher_instances() {
+        assert_eq!(fx_hash64(&42u64), fx_hash64(&42u64));
+        assert_eq!(fx_hash64("hello"), fx_hash64("hello"));
+        assert_eq!(fx_hash64(&vec![1u32, 2, 3]), fx_hash64(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn hash_distinguishes_values() {
+        assert_ne!(fx_hash64(&1u64), fx_hash64(&2u64));
+        assert_ne!(fx_hash64("a"), fx_hash64("b"));
+    }
+
+    #[test]
+    fn bucket_in_range_and_covers() {
+        let buckets = 7;
+        let mut seen = vec![false; buckets];
+        for i in 0..1000u64 {
+            let b = bucket_of(&i, buckets);
+            assert!(b < buckets);
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys should hit all 7 buckets");
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn partial_word_writes() {
+        // 9 bytes exercises both the chunk and the remainder path.
+        assert_eq!(fx_hash64(&b"123456789"[..]), fx_hash64(&b"123456789"[..]));
+        assert_ne!(fx_hash64(&b"123456789"[..]), fx_hash64(&b"123456780"[..]));
+    }
+}

@@ -1,0 +1,425 @@
+//! Simulated HDFS.
+//!
+//! Files hold their *real* contents (lines of text) in memory, so the engines
+//! built on this substrate parse and process genuine bytes. What is simulated
+//! is the layout and the cost: files are split into blocks, each block has
+//! replicas placed deterministically across nodes, and the engines charge
+//! disk/network virtual time when they read or commit blocks.
+
+use crate::costmodel::CostModel;
+use crate::spec::{ClusterSpec, NodeId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default HDFS block size (64 MiB, the Hadoop 1.x default).
+pub const DEFAULT_BLOCK_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Errors from the simulated file system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// No file with that name exists.
+    NotFound(String),
+    /// A file with that name already exists.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(n) => write!(f, "dfs file not found: {n}"),
+            DfsError::AlreadyExists(n) => write!(f, "dfs file already exists: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// One block of a file: a contiguous range of lines with replica placement.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Block index within the file.
+    pub index: usize,
+    /// Line range covered by this block.
+    pub lines: Range<usize>,
+    /// Exact byte size of the block (line bytes + newlines).
+    pub bytes: u64,
+    /// Nodes holding a replica; the first is the "primary".
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// Whether `node` holds a replica of this block.
+    pub fn is_local(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+/// One input split handed to a task: a range of lines plus the node the
+/// scheduler should prefer (a replica holder).
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Split index.
+    pub index: usize,
+    /// Line range of the split.
+    pub lines: Range<usize>,
+    /// Exact byte size of the split.
+    pub bytes: u64,
+    /// Node a locality-aware scheduler should run the task on.
+    pub preferred_node: NodeId,
+}
+
+struct FileInner {
+    name: String,
+    lines: Arc<Vec<String>>,
+    /// offsets[i] = bytes of lines[..i] including one newline per line;
+    /// offsets.len() == lines.len() + 1.
+    offsets: Vec<u64>,
+    blocks: Vec<BlockInfo>,
+}
+
+/// Handle to a stored file. Cheap to clone; contents are shared.
+#[derive(Clone)]
+pub struct DfsFile {
+    inner: Arc<FileInner>,
+}
+
+impl DfsFile {
+    /// File name (path).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        *self.inner.offsets.last().expect("offsets never empty")
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.inner.lines.len()
+    }
+
+    /// Shared reference to the real file contents.
+    pub fn lines(&self) -> &Arc<Vec<String>> {
+        &self.inner.lines
+    }
+
+    /// Block layout.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.inner.blocks
+    }
+
+    /// Exact byte size of a line range.
+    pub fn range_bytes(&self, range: Range<usize>) -> u64 {
+        self.inner.offsets[range.end] - self.inner.offsets[range.start]
+    }
+
+    /// Derive input splits: one per block, subdividing blocks further if
+    /// fewer than `min_splits` would result (Spark's
+    /// `textFile(path, minPartitions)` behaviour). Splits inherit the
+    /// enclosing block's primary replica as their preferred node.
+    pub fn splits(&self, min_splits: usize) -> Vec<Split> {
+        let blocks = &self.inner.blocks;
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        let per_block = min_splits.div_ceil(blocks.len()).max(1);
+        let mut out = Vec::new();
+        for b in blocks {
+            let n_lines = b.lines.len();
+            let parts = per_block.min(n_lines.max(1));
+            let chunk = n_lines.div_ceil(parts.max(1)).max(1);
+            let mut start = b.lines.start;
+            while start < b.lines.end {
+                let end = (start + chunk).min(b.lines.end);
+                out.push(Split {
+                    index: out.len(),
+                    lines: start..end,
+                    bytes: self.range_bytes(start..end),
+                    preferred_node: b.replicas[0],
+                });
+                start = end;
+            }
+            if n_lines == 0 {
+                out.push(Split {
+                    index: out.len(),
+                    lines: b.lines.clone(),
+                    bytes: 0,
+                    preferred_node: b.replicas[0],
+                });
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for DfsFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DfsFile")
+            .field("name", &self.inner.name)
+            .field("bytes", &self.bytes())
+            .field("lines", &self.num_lines())
+            .field("blocks", &self.inner.blocks.len())
+            .finish()
+    }
+}
+
+/// The simulated distributed file system of one cluster.
+pub struct SimHdfs {
+    spec: ClusterSpec,
+    #[allow(dead_code)] // kept for future contention modelling
+    cost: CostModel,
+    block_size: RwLock<u64>,
+    files: RwLock<BTreeMap<String, DfsFile>>,
+}
+
+impl SimHdfs {
+    /// A fresh, empty file system for the given cluster.
+    pub fn new(spec: ClusterSpec, cost: CostModel) -> Self {
+        SimHdfs {
+            spec,
+            cost,
+            block_size: RwLock::new(DEFAULT_BLOCK_SIZE),
+            files: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Current block size used for newly written files.
+    pub fn block_size(&self) -> u64 {
+        *self.block_size.read()
+    }
+
+    /// Change the block size for subsequently written files. The default is
+    /// Hadoop's stock 64 MiB — deliberately kept for the paper experiments,
+    /// where megabyte-scale inputs then yield only 1–2 map tasks per
+    /// MapReduce job (see `DESIGN.md` §5); tests use small blocks to
+    /// exercise multi-block layouts.
+    pub fn set_block_size(&self, bytes: u64) {
+        assert!(bytes > 0, "block size must be positive");
+        *self.block_size.write() = bytes;
+    }
+
+    /// Store a file; errors if the name is taken.
+    pub fn put(&self, name: impl Into<String>, lines: Vec<String>) -> Result<DfsFile, DfsError> {
+        let name = name.into();
+        {
+            let files = self.files.read();
+            if files.contains_key(&name) {
+                return Err(DfsError::AlreadyExists(name));
+            }
+        }
+        let file = self.build_file(name.clone(), lines);
+        self.files.write().insert(name, file.clone());
+        Ok(file)
+    }
+
+    /// Store a file, replacing any previous version.
+    pub fn put_overwrite(&self, name: impl Into<String>, lines: Vec<String>) -> DfsFile {
+        let name = name.into();
+        let file = self.build_file(name.clone(), lines);
+        self.files.write().insert(name, file.clone());
+        file
+    }
+
+    /// Look up a file by name.
+    pub fn get(&self, name: &str) -> Result<DfsFile, DfsError> {
+        self.files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Remove a file; errors if absent.
+    pub fn delete(&self, name: &str) -> Result<(), DfsError> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// All file names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    fn build_file(&self, name: String, lines: Vec<String>) -> DfsFile {
+        let block_size = self.block_size();
+        let mut offsets = Vec::with_capacity(lines.len() + 1);
+        offsets.push(0u64);
+        for l in &lines {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + l.len() as u64 + 1); // +1 for the newline
+        }
+
+        // Cut blocks at line boundaries once the byte budget is exceeded.
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        let mut start_off = 0u64;
+        for i in 0..lines.len() {
+            let end_off = offsets[i + 1];
+            if end_off - start_off >= block_size {
+                blocks.push(start..i + 1);
+                start = i + 1;
+                start_off = end_off;
+            }
+        }
+        if start < lines.len() || blocks.is_empty() {
+            blocks.push(start..lines.len());
+        }
+
+        let replication = self.cost.hdfs_replication.min(self.spec.nodes).max(1);
+        let blocks = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| {
+                let bytes = offsets[range.end] - offsets[range.start];
+                let replicas = (0..replication)
+                    .map(|r| NodeId((index as u32 + r) % self.spec.nodes))
+                    .collect();
+                BlockInfo {
+                    index,
+                    lines: range,
+                    bytes,
+                    replicas,
+                }
+            })
+            .collect();
+
+        DfsFile {
+            inner: Arc::new(FileInner {
+                name,
+                lines: Arc::new(lines),
+                offsets,
+                blocks,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GIB;
+
+    fn hdfs() -> SimHdfs {
+        SimHdfs::new(ClusterSpec::new(4, 2, GIB), CostModel::hadoop_era())
+    }
+
+    fn lines(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("line {i}")).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let fs = hdfs();
+        let f = fs.put("a.dat", lines(10)).unwrap();
+        assert_eq!(f.num_lines(), 10);
+        let g = fs.get("a.dat").unwrap();
+        assert_eq!(g.lines()[3], "line 3");
+        assert!(fs.exists("a.dat"));
+        assert_eq!(fs.list(), vec!["a.dat".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_put_rejected_but_overwrite_allowed() {
+        let fs = hdfs();
+        fs.put("a", lines(1)).unwrap();
+        assert!(matches!(
+            fs.put("a", lines(1)),
+            Err(DfsError::AlreadyExists(_))
+        ));
+        let f = fs.put_overwrite("a", lines(5));
+        assert_eq!(f.num_lines(), 5);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = hdfs();
+        assert!(matches!(fs.get("nope"), Err(DfsError::NotFound(_))));
+        assert!(matches!(fs.delete("nope"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let fs = hdfs();
+        let f = fs.put("b", vec!["ab".into(), "cde".into()]).unwrap();
+        // "ab\n" + "cde\n" = 7 bytes
+        assert_eq!(f.bytes(), 7);
+        assert_eq!(f.range_bytes(0..1), 3);
+        assert_eq!(f.range_bytes(1..2), 4);
+    }
+
+    #[test]
+    fn small_file_is_one_block() {
+        let fs = hdfs();
+        let f = fs.put("c", lines(100)).unwrap();
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.blocks()[0].lines, 0..100);
+    }
+
+    #[test]
+    fn block_size_splits_files() {
+        let fs = hdfs();
+        fs.set_block_size(16); // tiny blocks: every ~2 lines
+        let f = fs.put_overwrite("d", lines(10));
+        assert!(f.blocks().len() > 1, "expected multiple blocks");
+        // Blocks tile the file exactly.
+        let mut covered = 0;
+        let mut total_bytes = 0;
+        for b in f.blocks() {
+            assert_eq!(b.lines.start, covered);
+            covered = b.lines.end;
+            total_bytes += b.bytes;
+        }
+        assert_eq!(covered, 10);
+        assert_eq!(total_bytes, f.bytes());
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let fs = hdfs();
+        fs.set_block_size(16);
+        let f = fs.put_overwrite("e", lines(20));
+        for b in f.blocks() {
+            let mut r = b.replicas.clone();
+            r.sort();
+            r.dedup();
+            assert_eq!(r.len(), b.replicas.len(), "replicas must be distinct");
+            assert_eq!(b.replicas.len(), 3);
+        }
+    }
+
+    #[test]
+    fn splits_cover_file_and_respect_min() {
+        let fs = hdfs();
+        let f = fs.put("f", lines(97)).unwrap();
+        let splits = f.splits(8);
+        assert!(splits.len() >= 8);
+        let mut covered = 0;
+        let mut total = 0;
+        for s in &splits {
+            assert_eq!(s.lines.start, covered);
+            covered = s.lines.end;
+            total += s.bytes;
+        }
+        assert_eq!(covered, 97);
+        assert_eq!(total, f.bytes());
+    }
+
+    #[test]
+    fn splits_never_exceed_line_count() {
+        let fs = hdfs();
+        let f = fs.put("g", lines(3)).unwrap();
+        let splits = f.splits(10);
+        assert!(splits.len() <= 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Shared metrics: the virtual clock, aggregate counters, and an event log.
+//!
+//! Both engines charge all their virtual time here, so an experiment can run
+//! a YAFIM job and an MR-Apriori job against separate clusters and compare
+//! `metrics().now()` readings, or read back the event log to reconstruct the
+//! per-iteration series of the paper's Fig. 3/Fig. 6.
+
+use crate::time::{SimDuration, SimInstant};
+use crate::work::WorkCounters;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What kind of activity an [`Event`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A whole engine job (one action / one MapReduce job).
+    Job,
+    /// One scheduler stage (between shuffle boundaries).
+    Stage,
+    /// One Apriori iteration (pass k), as plotted in Fig. 3.
+    Iteration,
+    /// A broadcast of shared data to the workers.
+    Broadcast,
+    /// Reading a file from simulated HDFS.
+    HdfsRead,
+    /// Committing a file to simulated HDFS.
+    HdfsWrite,
+    /// Driver-side computation (candidate generation etc.).
+    Driver,
+    /// Anything else.
+    Other,
+}
+
+/// One interval on the virtual timeline.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Category of the interval.
+    pub kind: EventKind,
+    /// Human-readable label, e.g. `"pass 3"` or `"stage 7 (reduceByKey)"`.
+    pub label: String,
+    /// Start of the interval.
+    pub start: SimInstant,
+    /// Length of the interval.
+    pub duration: SimDuration,
+}
+
+impl Event {
+    /// End of the interval.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+/// Aggregate counters over a whole run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Current virtual time.
+    pub now: SimInstant,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Stages executed.
+    pub stages: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Merged work counters across all tasks.
+    pub work: WorkCounters,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    now: SimInstant,
+    jobs: u64,
+    stages: u64,
+    tasks: u64,
+    work: WorkCounters,
+    events: Vec<Event>,
+}
+
+/// Thread-safe handle to the virtual clock and event log. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<MetricsInner>>,
+}
+
+impl Metrics {
+    /// A fresh metrics sink at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.inner.lock().now
+    }
+
+    /// Advance the virtual clock by `d`, returning the interval's
+    /// `(start, end)`.
+    pub fn advance(&self, d: SimDuration) -> (SimInstant, SimInstant) {
+        let mut g = self.inner.lock();
+        let start = g.now;
+        g.now += d;
+        (start, g.now)
+    }
+
+    /// Advance the clock and record an [`Event`] covering the interval.
+    pub fn advance_with_event(
+        &self,
+        d: SimDuration,
+        kind: EventKind,
+        label: impl Into<String>,
+    ) -> (SimInstant, SimInstant) {
+        let mut g = self.inner.lock();
+        let start = g.now;
+        g.now += d;
+        let end = g.now;
+        g.events.push(Event {
+            kind,
+            label: label.into(),
+            start,
+            duration: d,
+        });
+        (start, end)
+    }
+
+    /// Record an event over an interval that already elapsed (e.g. a job
+    /// whose stages each advanced the clock individually).
+    pub fn record_span(&self, kind: EventKind, label: impl Into<String>, start: SimInstant) {
+        let mut g = self.inner.lock();
+        let duration = g.now.since(start);
+        g.events.push(Event {
+            kind,
+            label: label.into(),
+            start,
+            duration,
+        });
+    }
+
+    /// Count a finished job.
+    pub fn count_job(&self) {
+        self.inner.lock().jobs += 1;
+    }
+
+    /// Count a finished stage.
+    pub fn count_stage(&self) {
+        self.inner.lock().stages += 1;
+    }
+
+    /// Count `n` finished tasks and merge their work counters.
+    pub fn count_tasks(&self, n: u64, work: &WorkCounters) {
+        let mut g = self.inner.lock();
+        g.tasks += n;
+        g.work.merge(work);
+    }
+
+    /// Copy of the aggregate counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock();
+        MetricsSnapshot {
+            now: g.now,
+            jobs: g.jobs,
+            stages: g.stages,
+            tasks: g.tasks,
+            work: g.work,
+        }
+    }
+
+    /// Copy of the event log.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Events of one kind, in order.
+    pub fn events_of(&self, kind: EventKind) -> Vec<Event> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Reset clock, counters and log (for reusing a cluster across runs).
+    pub fn reset(&self) {
+        *self.inner.lock() = MetricsInner::default();
+    }
+
+    /// Aggregate the event log by kind: `(kind, events, total virtual time)`,
+    /// ordered by descending total time. Useful for "where did the time go"
+    /// breakdowns in experiment reports.
+    pub fn summary_by_kind(&self) -> Vec<(EventKind, usize, SimDuration)> {
+        let g = self.inner.lock();
+        let mut agg: Vec<(EventKind, usize, SimDuration)> = Vec::new();
+        for e in &g.events {
+            match agg.iter_mut().find(|(k, _, _)| *k == e.kind) {
+                Some((_, n, d)) => {
+                    *n += 1;
+                    *d += e.duration;
+                }
+                None => agg.push((e.kind, 1, e.duration)),
+            }
+        }
+        agg.sort_by_key(|e| std::cmp::Reverse(e.2));
+        agg
+    }
+
+    /// Render the event log as an indented text timeline (one line per
+    /// event), for debugging and experiment write-ups.
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in self.inner.lock().events.iter() {
+            let _ = writeln!(
+                out,
+                "[{:>10.3}s +{:>9.3}s] {:<10} {}",
+                e.start.as_secs(),
+                e.duration.as_secs(),
+                format!("{:?}", e.kind),
+                e.label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let m = Metrics::new();
+        let (s, e) = m.advance(SimDuration::from_secs(2.0));
+        assert_eq!(s, SimInstant::EPOCH);
+        assert_eq!(e.as_secs(), 2.0);
+        assert_eq!(m.now().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn events_are_logged_in_order() {
+        let m = Metrics::new();
+        m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Stage, "s0");
+        m.advance_with_event(SimDuration::from_secs(0.5), EventKind::Iteration, "pass 1");
+        let ev = m.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].label, "s0");
+        assert_eq!(ev[1].start.as_secs(), 1.0);
+        assert_eq!(ev[1].end().as_secs(), 1.5);
+        assert_eq!(m.events_of(EventKind::Iteration).len(), 1);
+    }
+
+    #[test]
+    fn record_span_covers_elapsed_interval() {
+        let m = Metrics::new();
+        let start = m.now();
+        m.advance(SimDuration::from_secs(0.25));
+        m.advance(SimDuration::from_secs(0.75));
+        m.record_span(EventKind::Job, "job", start);
+        let ev = m.events();
+        assert_eq!(ev[0].duration.as_secs(), 1.0);
+    }
+
+    #[test]
+    fn task_counters_merge() {
+        let m = Metrics::new();
+        let mut w = WorkCounters::new();
+        w.add_records_in(5);
+        m.count_tasks(3, &w);
+        m.count_tasks(2, &w);
+        let snap = m.snapshot();
+        assert_eq!(snap.tasks, 5);
+        assert_eq!(snap.work.records_in, 10);
+    }
+
+    #[test]
+    fn summary_aggregates_by_kind() {
+        let m = Metrics::new();
+        m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Stage, "a");
+        m.advance_with_event(SimDuration::from_secs(2.0), EventKind::Stage, "b");
+        m.advance_with_event(SimDuration::from_secs(0.5), EventKind::Broadcast, "c");
+        let s = m.summary_by_kind();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, EventKind::Stage);
+        assert_eq!(s[0].1, 2);
+        assert_eq!(s[0].2.as_secs(), 3.0);
+        assert_eq!(s[1].0, EventKind::Broadcast);
+    }
+
+    #[test]
+    fn timeline_renders_every_event() {
+        let m = Metrics::new();
+        m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Job, "job one");
+        m.advance_with_event(SimDuration::from_secs(0.25), EventKind::Stage, "stage two");
+        let text = m.render_timeline();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("job one"));
+        assert!(text.contains("stage two"));
+        assert!(text.contains("1.000s"), "{text}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Job, "j");
+        m.count_job();
+        m.reset();
+        assert_eq!(m.now(), SimInstant::EPOCH);
+        assert!(m.events().is_empty());
+        assert_eq!(m.snapshot().jobs, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The real worker pool.
+//!
+//! Virtual cores determine *timing*; this pool determines how fast the
+//! simulation itself runs. Tasks are ordinary closures; [`ThreadPool::map`]
+//! executes a batch and returns results in input order, propagating panics.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of OS threads executing queued closures.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `size` worker threads (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("yafim-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` over every item, in parallel, returning results in input
+    /// order. If any task panics, this re-panics on the caller thread after
+    /// the batch drains.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, I) -> T + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        struct Batch<T> {
+            lock: Mutex<BatchState<T>>,
+            cv: Condvar,
+        }
+        struct BatchState<T> {
+            results: Vec<Option<T>>,
+            remaining: usize,
+            panicked: bool,
+        }
+
+        let batch = Arc::new(Batch {
+            lock: Mutex::new(BatchState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let f = Arc::new(f);
+        let tx = self.tx.as_ref().expect("pool is shut down");
+
+        for (idx, item) in items.into_iter().enumerate() {
+            let batch = Arc::clone(&batch);
+            let f = Arc::clone(&f);
+            tx.send(Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(idx, item)));
+                // Release this job's share of the task closure *before*
+                // signalling completion: the closure may capture the last
+                // handle to the cluster that owns this very pool, and its
+                // drop must not race past the caller's return from `map`
+                // (a worker dropping the pool would self-join).
+                drop(f);
+                let mut st = batch.lock.lock();
+                match out {
+                    Ok(v) => st.results[idx] = Some(v),
+                    Err(_) => st.panicked = true,
+                }
+                st.remaining -= 1;
+                if st.remaining == 0 {
+                    batch.cv.notify_all();
+                }
+            }))
+            .expect("worker channel closed");
+        }
+
+        let mut st = batch.lock.lock();
+        while st.remaining > 0 {
+            batch.cv.wait(&mut st);
+        }
+        if st.panicked {
+            panic!("a task in the worker pool panicked");
+        }
+        st.results
+            .iter_mut()
+            .map(|slot| slot.take().expect("every task produced a result"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers exit, then join them. If the pool is
+        // (unexpectedly) dropped *from* one of its own workers, skip the
+        // self-join and let that thread exit naturally — joining yourself
+        // deadlocks.
+        self.tx.take();
+        let me = std::thread::current().id();
+        for h in self.workers.drain(..) {
+            if h.thread().id() == me {
+                continue;
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map((0..100).collect(), |_, x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<i32> = pool.map(Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = ThreadPool::new(3);
+        for round in 0..50 {
+            let out = pool.map(vec![1, 2, 3], move |_, x: i64| x + round);
+            assert_eq!(out, vec![1 + round, 2 + round, 3 + round]);
+        }
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let pool = ThreadPool::new(2);
+        let out = pool.map(vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn closure_captures_released_before_map_returns() {
+        // Regression test for a shutdown race: if a task closure holds the
+        // last reference to something owning the pool itself, the drop must
+        // happen on a worker *before* `map` returns — never afterwards,
+        // where it would race with the caller dropping the pool.
+        struct Canary(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        for _ in 0..50 {
+            let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let canary = Canary(Arc::clone(&drops));
+            let pool = ThreadPool::new(3);
+            pool.map(vec![1u32, 2, 3], move |_, x| {
+                let _keep_alive = &canary;
+                x
+            });
+            assert_eq!(
+                drops.load(std::sync::atomic::Ordering::SeqCst),
+                1,
+                "closure must be fully dropped by the time map returns"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker pool panicked")]
+    fn panics_propagate() {
+        let pool = ThreadPool::new(2);
+        pool.map(vec![0, 1, 2], |_, x: i32| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-task work counters.
+//!
+//! Tasks running on either engine record *what they did* — records in/out,
+//! abstract CPU units, bytes touched per medium — into a [`WorkCounters`].
+//! The counters are exact functions of the input data, which is what makes
+//! the virtual timing deterministic.
+
+use crate::costmodel::CostModel;
+use crate::time::SimDuration;
+
+/// Everything a task did, in engine-neutral units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Records consumed from the task's input iterator.
+    pub records_in: u64,
+    /// Records produced by the task.
+    pub records_out: u64,
+    /// Abstract CPU work units beyond per-record bookkeeping
+    /// (hash-tree node visits, candidate comparisons, sort comparisons…).
+    pub cpu_units: u64,
+    /// Bytes read from node-local disk (HDFS-local block reads, spill reads).
+    pub disk_read_bytes: u64,
+    /// Bytes written to node-local disk (spills).
+    pub disk_write_bytes: u64,
+    /// Bytes scanned from the in-memory cache.
+    pub mem_read_bytes: u64,
+    /// Bytes fetched over the network (remote blocks, shuffle fetches).
+    pub net_bytes: u64,
+    /// Bytes passed through a serialization boundary.
+    pub ser_bytes: u64,
+}
+
+impl WorkCounters {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` input records. Each input record costs one CPU unit of
+    /// per-record bookkeeping on top of whatever the operator adds.
+    pub fn add_records_in(&mut self, n: u64) {
+        self.records_in += n;
+        self.cpu_units += n;
+    }
+
+    /// Record `n` output records (one CPU unit each).
+    pub fn add_records_out(&mut self, n: u64) {
+        self.records_out += n;
+        self.cpu_units += n;
+    }
+
+    /// Record extra CPU work (data-structure traversal, comparisons…).
+    pub fn add_cpu(&mut self, units: u64) {
+        self.cpu_units += units;
+    }
+
+    /// Record a node-local disk read.
+    pub fn add_disk_read(&mut self, bytes: u64) {
+        self.disk_read_bytes += bytes;
+    }
+
+    /// Record a node-local disk write.
+    pub fn add_disk_write(&mut self, bytes: u64) {
+        self.disk_write_bytes += bytes;
+    }
+
+    /// Record a cached-memory scan.
+    pub fn add_mem_read(&mut self, bytes: u64) {
+        self.mem_read_bytes += bytes;
+    }
+
+    /// Record a network fetch.
+    pub fn add_net(&mut self, bytes: u64) {
+        self.net_bytes += bytes;
+    }
+
+    /// Record bytes crossing a serialization boundary.
+    pub fn add_ser(&mut self, bytes: u64) {
+        self.ser_bytes += bytes;
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+        self.cpu_units += other.cpu_units;
+        self.disk_read_bytes += other.disk_read_bytes;
+        self.disk_write_bytes += other.disk_write_bytes;
+        self.mem_read_bytes += other.mem_read_bytes;
+        self.net_bytes += other.net_bytes;
+        self.ser_bytes += other.ser_bytes;
+    }
+
+    /// Convert the counters into a virtual duration under `model`, *excluding*
+    /// framework per-task overheads (the engine adds those, because they
+    /// differ between MapReduce and Spark).
+    pub fn data_time(&self, model: &CostModel) -> SimDuration {
+        model.cpu(self.cpu_units)
+            + model.disk_read(self.disk_read_bytes)
+            + model.disk_write(self.disk_write_bytes)
+            + model.mem_scan(self.mem_read_bytes)
+            + model.net_transfer(self.net_bytes)
+            + model.serialize(self.ser_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_also_cost_cpu() {
+        let mut w = WorkCounters::new();
+        w.add_records_in(10);
+        w.add_records_out(5);
+        assert_eq!(w.records_in, 10);
+        assert_eq!(w.records_out, 5);
+        assert_eq!(w.cpu_units, 15);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = WorkCounters::new();
+        a.add_records_in(3);
+        a.add_disk_read(100);
+        let mut b = WorkCounters::new();
+        b.add_records_in(4);
+        b.add_net(50);
+        a.merge(&b);
+        assert_eq!(a.records_in, 7);
+        assert_eq!(a.disk_read_bytes, 100);
+        assert_eq!(a.net_bytes, 50);
+    }
+
+    #[test]
+    fn data_time_is_sum_of_components() {
+        let m = CostModel::zero_overhead();
+        let mut w = WorkCounters::new();
+        w.add_cpu(10_000_000); // 1s at 100ns/unit
+        w.add_disk_read(100_000_000); // 1s at 100 MB/s
+        let t = w.data_time(&m);
+        assert!((t.as_secs() - 2.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn zero_counters_cost_nothing() {
+        let m = CostModel::hadoop_era();
+        assert_eq!(WorkCounters::new().data_time(&m), SimDuration::ZERO);
+    }
+}

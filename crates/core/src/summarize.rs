@@ -1,0 +1,141 @@
+//! Condensed representations of a mining result: **maximal** and **closed**
+//! frequent itemsets.
+//!
+//! The paper's related work cites Bayardo's long-pattern mining (ref \[2\]),
+//! whose central idea is that the full frequent-itemset collection is
+//! hugely redundant: it is determined by its maximal elements, and exact
+//! supports are determined by the closed ones. These utilities post-process
+//! any [`MiningResult`] into either condensed form — useful when presenting
+//! mined relationships (the medical example reports closed sets to avoid
+//! drowning the reader in subsets).
+
+use crate::types::{Itemset, MiningResult};
+
+/// The maximal frequent itemsets: those with no frequent superset.
+/// Returned largest-first, each with its support.
+pub fn maximal_itemsets(result: &MiningResult) -> Vec<(Itemset, u64)> {
+    let mut out: Vec<(Itemset, u64)> = Vec::new();
+    // Walk levels from the longest down; an itemset is maximal iff no
+    // already-accepted (longer) itemset contains it.
+    for k in (1..=result.max_len()).rev() {
+        for (set, sup) in result.level(k) {
+            let covered = out
+                .iter()
+                .any(|(bigger, _)| set.is_subset_of_sorted(bigger.items()));
+            if !covered {
+                out.push((set.clone(), *sup));
+            }
+        }
+    }
+    out
+}
+
+/// The closed frequent itemsets: those with no superset of *equal* support.
+/// Returned largest-first, each with its support.
+pub fn closed_itemsets(result: &MiningResult) -> Vec<(Itemset, u64)> {
+    let mut out = Vec::new();
+    for k in 1..=result.max_len() {
+        for (set, sup) in result.level(k) {
+            // Closed iff no (k+1)-superset has the same support. By
+            // monotonicity a superset's support never exceeds the subset's,
+            // so checking the next level suffices.
+            let absorbed = result
+                .level(k + 1)
+                .iter()
+                .any(|(bigger, bsup)| bsup == sup && set.is_subset_of_sorted(bigger.items()));
+            if !absorbed {
+                out.push((set.clone(), *sup));
+            }
+        }
+    }
+    out.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::{apriori, SequentialConfig};
+    use crate::types::Support;
+
+    fn toy_result() -> MiningResult {
+        // {1,3,4}, {2,3,5}, {1,2,3,5}, {2,5} at minsup 2.
+        let tx = vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ];
+        apriori(&tx, &SequentialConfig::new(Support::Count(2)))
+    }
+
+    #[test]
+    fn maximal_sets_cover_everything() {
+        let r = toy_result();
+        let max = maximal_itemsets(&r);
+        // Every frequent itemset is a subset of some maximal one.
+        for (set, _) in r.iter() {
+            assert!(
+                max.iter().any(|(m, _)| set.is_subset_of_sorted(m.items())),
+                "{set} not covered"
+            );
+        }
+        // No maximal set contains another.
+        for (i, (a, _)) in max.iter().enumerate() {
+            for (j, (b, _)) in max.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset_of_sorted(b.items()), "{a} ⊆ {b}");
+                }
+            }
+        }
+        // The known answer: {2,3,5}, {1,3} and {1,2}/{1,5}-family members.
+        assert!(max.iter().any(|(m, _)| m == &Itemset::new(vec![2, 3, 5])));
+        assert!(max.len() < r.total());
+    }
+
+    #[test]
+    fn closed_sets_preserve_all_supports() {
+        let r = toy_result();
+        let closed = closed_itemsets(&r);
+        // Every frequent itemset's support equals the max support of a
+        // closed superset (the defining property of the closed condensate).
+        for (set, sup) in r.iter() {
+            let derived = closed
+                .iter()
+                .filter(|(c, _)| set.is_subset_of_sorted(c.items()))
+                .map(|(_, s)| *s)
+                .max();
+            assert_eq!(derived, Some(*sup), "support of {set} not derivable");
+        }
+        assert!(closed.len() <= r.total());
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        // Every maximal itemset is closed (no superset at all, let alone an
+        // equal-support one).
+        let r = toy_result();
+        let closed = closed_itemsets(&r);
+        for (m, sup) in maximal_itemsets(&r) {
+            assert!(
+                closed.iter().any(|(c, cs)| *c == m && *cs == sup),
+                "maximal {m} missing from closed"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = MiningResult::default();
+        assert!(maximal_itemsets(&r).is_empty());
+        assert!(closed_itemsets(&r).is_empty());
+    }
+
+    #[test]
+    fn single_level_all_maximal() {
+        let tx: Vec<Vec<u32>> = (0..4).map(|i| vec![i]).collect();
+        let r = apriori(&tx, &SequentialConfig::new(Support::Count(1)));
+        assert_eq!(maximal_itemsets(&r).len(), 4);
+        assert_eq!(closed_itemsets(&r).len(), 4);
+    }
+}

@@ -1,0 +1,353 @@
+//! YAFIM — the paper's algorithm (§IV), on the mini-Spark engine.
+//!
+//! **Phase I** (Algorithm 2, Fig. 1): load the transactional dataset from
+//! HDFS into a *cached* RDD, then
+//! `flatMap(items) → map(item → (item, 1)) → reduceByKey(+)`, filtering by
+//! `MinSup`, to obtain the frequent items `L1`.
+//!
+//! **Phase II** (Algorithm 3, Fig. 2): iteratively, on the driver, generate
+//! candidates `C_{k+1} = ap_gen(L_k)`, build a hash tree over them and
+//! *broadcast* it (§IV.C); then over the cached transactions RDD count each
+//! candidate's occurrences
+//! (`flatMap(subset(C_k, t)) → map(c → (c, 1)) → reduceByKey(+)`) and keep
+//! those reaching `MinSup`.
+//!
+//! The transactions RDD is read from HDFS exactly once and reused from
+//! cluster memory in every later pass — the key memory-utilization property
+//! of §IV.B that the MapReduce baseline lacks.
+
+use crate::candidates::ap_gen;
+use crate::hashtree::{HashTree, MatchScratch};
+use crate::types::{parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support};
+use yafim_cluster::{DfsError, EventKind, SimDuration};
+use yafim_rdd::{Context, Rdd};
+
+/// Options for a YAFIM run.
+#[derive(Clone, Debug)]
+pub struct YafimConfig {
+    /// Minimum support threshold.
+    pub min_support: Support,
+    /// Minimum partitions for the transactions RDD (0 = the context's
+    /// default parallelism, 2 tasks per virtual core).
+    pub min_partitions: usize,
+    /// Stop after this many passes (0 = run to fixpoint).
+    pub max_passes: usize,
+}
+
+impl YafimConfig {
+    /// Defaults: run to fixpoint, default parallelism.
+    pub fn new(min_support: Support) -> Self {
+        YafimConfig {
+            min_support,
+            min_partitions: 0,
+            max_passes: 0,
+        }
+    }
+}
+
+pub use crate::types::PassTiming as YafimPassTiming;
+
+/// The YAFIM miner bound to one driver [`Context`].
+pub struct Yafim {
+    ctx: Context,
+    config: YafimConfig,
+}
+
+impl Yafim {
+    /// A miner over `ctx` with `config`.
+    pub fn new(ctx: Context, config: YafimConfig) -> Self {
+        Yafim { ctx, config }
+    }
+
+    /// Mine the text dataset at `input` (one whitespace-separated
+    /// transaction per line) on simulated HDFS.
+    pub fn mine(&self, input: &str) -> Result<MinerRun, DfsError> {
+        let ctx = &self.ctx;
+        let metrics = ctx.metrics().clone();
+        let cost = ctx.cluster().cost().clone();
+        let partitions = if self.config.min_partitions == 0 {
+            ctx.config().default_parallelism
+        } else {
+            self.config.min_partitions
+        };
+
+        // The driver knows the dataset size from HDFS metadata; resolve a
+        // fractional MinSup without an extra counting job.
+        let file = ctx.cluster().hdfs().get(input)?;
+        let min_sup = self.config.min_support.resolve(file.num_lines() as u64);
+
+        let run_start = metrics.now();
+        let mut passes: Vec<PassTiming> = Vec::new();
+
+        // ---- Phase I: load + cache + frequent items ----
+        let pass1_start = metrics.now();
+        let transactions: Rdd<Vec<Item>> = ctx
+            .text_file(input, partitions)?
+            .map(|line| parse_transaction(&line))
+            .cache();
+
+        let l1_pairs: Vec<(Item, u64)> = transactions
+            .flat_map(|t| t)
+            .map(|item| (item, 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .filter(move |&(_, c)| c >= min_sup)
+            .collect();
+        let mut l1: Vec<(Itemset, u64)> = l1_pairs
+            .iter()
+            .map(|&(i, c)| (Itemset::single(i), c))
+            .collect();
+        l1.sort_by(|a, b| a.0.cmp(&b.0));
+
+        metrics.record_span(EventKind::Iteration, "pass 1", pass1_start);
+        passes.push(PassTiming {
+            pass: 1,
+            seconds: metrics.now().since(pass1_start).as_secs(),
+            candidates: l1.len(), // distinct frequent items; C1 is implicit
+            frequent: l1.len(),
+        });
+
+        if l1.is_empty() {
+            transactions.unpersist();
+            return Ok(MinerRun {
+                result: MiningResult::default(),
+                total_seconds: metrics.now().since(run_start).as_secs(),
+                passes,
+            });
+        }
+
+        // ---- Phase II: iterate L_k → C_{k+1} → L_{k+1} ----
+        let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1];
+        let mut pass = 2usize;
+        loop {
+            if self.config.max_passes != 0 && pass > self.config.max_passes {
+                break;
+            }
+            let pass_start = metrics.now();
+
+            // Driver: candidate generation (join + prune), charged as
+            // driver CPU.
+            let prev: Vec<Itemset> = levels
+                .last()
+                .expect("levels never empty here")
+                .iter()
+                .map(|(s, _)| s.clone())
+                .collect();
+            let (candidates, gen_work) = ap_gen(&prev);
+            metrics.advance_with_event(
+                cost.cpu(gen_work.units() + candidates.len() as u64),
+                EventKind::Driver,
+                format!("ap_gen pass {pass}"),
+            );
+            if candidates.is_empty() {
+                break;
+            }
+            let n_candidates = candidates.len();
+
+            // Driver: build the hash tree and broadcast it to the workers.
+            let tree = HashTree::build(candidates);
+            metrics.advance_with_event(
+                cost.cpu(2 * n_candidates as u64),
+                EventKind::Driver,
+                format!("build hash tree pass {pass}"),
+            );
+            let bc = ctx.broadcast(tree);
+            let tree_for_tasks = bc.value();
+
+            // Workers: count candidate occurrences over the cached
+            // transactions. Matches are pre-aggregated per partition (as
+            // Spark's reduceByKey map-side combine would), then shuffled.
+            let counted: Vec<(u32, u64)> = transactions
+                .map_partitions(move |txs, tc| {
+                    let mut counts = vec![0u64; n_candidates];
+                    let mut scratch = MatchScratch::default();
+                    let mut visits = 0u64;
+                    for t in txs {
+                        visits += tree_for_tasks.for_each_match(t, &mut scratch, |idx| {
+                            counts[idx] += 1;
+                        });
+                    }
+                    let matches: u64 = counts.iter().sum();
+                    // Tree traversal plus one emission per match — the
+                    // flatMap cost of Algorithm 3, lines 4-9.
+                    tc.add_cpu(visits * crate::types::JVM_TREE_VISIT_UNITS + matches);
+                    counts
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(_, c)| c > 0)
+                        .map(|(i, c)| (i as u32, c))
+                        .collect()
+                })
+                .reduce_by_key(|a, b| a + b)
+                .filter(move |&(_, c)| c >= min_sup)
+                .collect();
+
+            if counted.is_empty() {
+                metrics.record_span(EventKind::Iteration, format!("pass {pass}"), pass_start);
+                passes.push(PassTiming {
+                    pass,
+                    seconds: metrics.now().since(pass_start).as_secs(),
+                    candidates: n_candidates,
+                    frequent: 0,
+                });
+                break;
+            }
+
+            let mut lk: Vec<(Itemset, u64)> = counted
+                .into_iter()
+                .map(|(idx, c)| (bc.candidates()[idx as usize].clone(), c))
+                .collect();
+            lk.sort_by(|a, b| a.0.cmp(&b.0));
+
+            metrics.record_span(EventKind::Iteration, format!("pass {pass}"), pass_start);
+            passes.push(PassTiming {
+                pass,
+                seconds: metrics.now().since(pass_start).as_secs(),
+                candidates: n_candidates,
+                frequent: lk.len(),
+            });
+            levels.push(lk);
+            pass += 1;
+        }
+
+        transactions.unpersist();
+        Ok(MinerRun {
+            result: MiningResult::from_levels(levels),
+            total_seconds: metrics.now().since(run_start).as_secs(),
+            passes,
+        })
+    }
+}
+
+/// Convenience: one-call YAFIM over an in-memory transaction list, writing
+/// it to the cluster's HDFS first (used by tests and examples).
+pub fn mine_in_memory(
+    ctx: &Context,
+    transactions: &[Vec<Item>],
+    config: YafimConfig,
+) -> MinerRun {
+    let lines: Vec<String> = transactions
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let path = format!("yafim-inmem-{}.dat", std::process::id());
+    ctx.cluster().hdfs().put_overwrite(&path, lines);
+    let hdfs_write_cost = ctx.cluster().cost().hdfs_write(
+        ctx.cluster()
+            .hdfs()
+            .get(&path)
+            .expect("file just written")
+            .bytes(),
+    );
+    ctx.metrics()
+        .advance_with_event(hdfs_write_cost, EventKind::HdfsWrite, path.clone());
+    let run = Yafim::new(ctx.clone(), config)
+        .mine(&path)
+        .expect("file exists");
+    let _ = ctx.cluster().hdfs().delete(&path);
+    // Dropping the input is instantaneous metadata work.
+    ctx.metrics().advance(SimDuration::ZERO);
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::{apriori, SequentialConfig};
+    use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+
+    fn ctx() -> Context {
+        Context::new(SimCluster::with_threads(
+            ClusterSpec::new(4, 2, 1 << 30),
+            CostModel::hadoop_era(),
+            4,
+        ))
+    }
+
+    fn toy() -> Vec<Vec<Item>> {
+        vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_on_toy() {
+        let run = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(2)));
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq);
+        assert_eq!(run.result.level_sizes(), vec![4, 4, 1]);
+    }
+
+    #[test]
+    fn pass_timings_recorded() {
+        let run = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(2)));
+        // Passes 1..=3 produce itemsets; pass 4 generates no candidates
+        // (single L3 itemset), so exactly 3 timed passes.
+        assert_eq!(run.passes.len(), 3);
+        assert!(run.passes.iter().all(|p| p.seconds > 0.0));
+        assert_eq!(run.passes[0].pass, 1);
+        assert!(run.total_seconds >= run.passes.iter().map(|p| p.seconds).sum::<f64>());
+    }
+
+    #[test]
+    fn empty_result_when_support_too_high() {
+        let run = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(50)));
+        assert_eq!(run.result.total(), 0);
+        assert_eq!(run.passes.len(), 1, "only the L1 pass runs");
+    }
+
+    #[test]
+    fn max_passes_truncates() {
+        let cfg = YafimConfig {
+            min_support: Support::Count(2),
+            min_partitions: 0,
+            max_passes: 2,
+        };
+        let run = mine_in_memory(&ctx(), &toy(), cfg);
+        assert_eq!(run.result.max_len(), 2);
+    }
+
+    #[test]
+    fn fractional_support_resolves_against_dataset() {
+        let run = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Fraction(0.5)));
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let c = ctx();
+        let miner = Yafim::new(c, YafimConfig::new(Support::Count(1)));
+        assert!(miner.mine("no-such-file.dat").is_err());
+    }
+
+    #[test]
+    fn later_passes_cheaper_than_first() {
+        // With caching, pass 2+ skips the HDFS load; on a non-trivial
+        // dataset the first pass dominates.
+        let tx: Vec<Vec<Item>> = (0..2000)
+            .map(|i| {
+                let mut t = vec![1, 2, 3];
+                t.push(4 + (i % 7));
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let run = mine_in_memory(&ctx(), &tx, YafimConfig::new(Support::Fraction(0.9)));
+        assert!(run.passes.len() >= 2);
+        let last = run.passes.last().expect("has passes");
+        assert!(
+            last.seconds < run.passes[0].seconds * 2.0,
+            "later passes must not blow up: {:?}",
+            run.pass_seconds()
+        );
+    }
+}

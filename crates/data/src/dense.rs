@@ -1,0 +1,209 @@
+//! Dense categorical generator — the stand-in for the UCI `MushRoom` and
+//! `Chess` datasets and for `Pumsb_star`.
+//!
+//! Those datasets encode fixed-width records: every transaction has exactly
+//! one value per attribute, so transaction length equals the attribute count
+//! and the item universe is the sum of per-attribute value counts (e.g.
+//! mushroom: 23 attributes → 23 items/transaction, 119 distinct items).
+//!
+//! What makes them hard for Apriori is *density*: many attributes have one
+//! dominant value, so large sets of dominant values co-occur far above high
+//! support thresholds, driving many passes. The generator reproduces that
+//! with per-attribute dominant-value probabilities plus a latent class (the
+//! mushroom edible/poisonous split) that correlates class-linked attributes.
+
+use crate::Transaction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the dense categorical generator.
+#[derive(Clone, Debug)]
+pub struct DenseConfig {
+    /// Number of transactions (records).
+    pub transactions: usize,
+    /// Number of values per attribute; attribute count = `values.len()`,
+    /// distinct items = `values.sum()`.
+    pub values: Vec<u32>,
+    /// Dominant-value probability range; each attribute draws its own
+    /// probability uniformly from this range. Higher → denser → more
+    /// Apriori passes at a given support.
+    pub dominant_prob: (f64, f64),
+    /// Number of latent classes.
+    pub classes: usize,
+    /// Fraction of attributes whose dominant value depends on the class.
+    pub class_linked_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DenseConfig {
+    /// Distribute `items` over `attributes` as evenly as possible
+    /// (each attribute gets at least 2 values).
+    pub fn values_for(attributes: usize, items: u32) -> Vec<u32> {
+        assert!(items >= 2 * attributes as u32, "need ≥2 values per attribute");
+        let base = items / attributes as u32;
+        let extra = (items % attributes as u32) as usize;
+        (0..attributes)
+            .map(|a| base + u32::from(a < extra))
+            .collect()
+    }
+}
+
+/// The generator. Construct once, call [`DenseGenerator::generate`].
+pub struct DenseGenerator {
+    config: DenseConfig,
+    /// Item-id offset of each attribute's value block.
+    offsets: Vec<u32>,
+}
+
+impl DenseGenerator {
+    /// A generator with the given parameters.
+    pub fn new(config: DenseConfig) -> Self {
+        assert!(!config.values.is_empty());
+        assert!(config.values.iter().all(|&v| v >= 2));
+        assert!(config.classes >= 1);
+        let (lo, hi) = config.dominant_prob;
+        assert!(0.0 < lo && lo <= hi && hi < 1.0, "bad dominant_prob range");
+        let mut offsets = Vec::with_capacity(config.values.len());
+        let mut acc = 0u32;
+        for &v in &config.values {
+            offsets.push(acc);
+            acc += v;
+        }
+        DenseGenerator { config, offsets }
+    }
+
+    /// Total distinct items across all attributes.
+    pub fn num_items(&self) -> u32 {
+        self.config.values.iter().sum()
+    }
+
+    /// Generate the dataset (deterministic for a given config).
+    pub fn generate(&self) -> Vec<Transaction> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let attrs = cfg.values.len();
+
+        // Per-attribute dominant probability and per-class dominant value.
+        let (lo, hi) = cfg.dominant_prob;
+        let dom_prob: Vec<f64> = (0..attrs).map(|_| rng.gen_range(lo..=hi)).collect();
+        let class_linked: Vec<bool> = (0..attrs)
+            .map(|_| rng.gen::<f64>() < cfg.class_linked_fraction)
+            .collect();
+        // dominant[a][c] = the dominant value of attribute a under class c.
+        let dominant: Vec<Vec<u32>> = (0..attrs)
+            .map(|a| {
+                let shared = rng.gen_range(0..cfg.values[a]);
+                (0..cfg.classes)
+                    .map(|_| {
+                        if class_linked[a] {
+                            rng.gen_range(0..cfg.values[a])
+                        } else {
+                            shared
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(cfg.transactions);
+        for _ in 0..cfg.transactions {
+            let class = rng.gen_range(0..cfg.classes);
+            let mut t: Transaction = Vec::with_capacity(attrs);
+            for a in 0..attrs {
+                let value = if rng.gen::<f64>() < dom_prob[a] {
+                    dominant[a][class]
+                } else {
+                    rng.gen_range(0..cfg.values[a])
+                };
+                t.push(self.offsets[a] + value);
+            }
+            // One value per attribute in disjoint id ranges → already
+            // strictly sorted and distinct.
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stats, validate};
+
+    fn small() -> DenseConfig {
+        DenseConfig {
+            transactions: 1000,
+            values: DenseConfig::values_for(10, 50),
+            dominant_prob: (0.7, 0.95),
+            classes: 2,
+            class_linked_fraction: 0.3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn values_for_distributes_exactly() {
+        let v = DenseConfig::values_for(23, 119);
+        assert_eq!(v.len(), 23);
+        assert_eq!(v.iter().sum::<u32>(), 119);
+        assert!(v.iter().all(|&x| x >= 2));
+        // Spread is at most 1.
+        let (min, max) = (v.iter().min().unwrap(), v.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = DenseGenerator::new(small()).generate();
+        let b = DenseGenerator::new(small()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_width_transactions() {
+        let g = DenseGenerator::new(small());
+        let tx = g.generate();
+        validate(&tx, g.num_items()).expect("valid");
+        assert!(tx.iter().all(|t| t.len() == 10), "one item per attribute");
+        let s = stats(&tx);
+        assert_eq!(s.transactions, 1000);
+        assert!((s.avg_len - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_values_make_it_dense() {
+        let g = DenseGenerator::new(small());
+        let tx = g.generate();
+        // Some single item should appear in ≥ 60% of transactions.
+        let mut counts = std::collections::HashMap::new();
+        for t in &tx {
+            for &i in t {
+                *counts.entry(i).or_insert(0u32) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max >= 600, "densest item only in {max}/1000 transactions");
+    }
+
+    #[test]
+    fn one_value_per_attribute_range() {
+        let g = DenseGenerator::new(small());
+        let tx = g.generate();
+        for t in &tx {
+            for (a, &item) in t.iter().enumerate() {
+                let lo = g.offsets[a];
+                let hi = lo + g.config.values[a];
+                assert!(item >= lo && item < hi, "item {item} outside attr {a}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad dominant_prob")]
+    fn rejects_invalid_prob_range() {
+        let mut cfg = small();
+        cfg.dominant_prob = (0.9, 0.5);
+        DenseGenerator::new(cfg);
+    }
+}

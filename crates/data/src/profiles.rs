@@ -1,0 +1,210 @@
+//! The paper's dataset profiles (Table I), pre-tuned.
+//!
+//! Each [`PaperDataset`] knows its Table I shape (distinct items,
+//! transaction count), the support threshold the paper used for it, and how
+//! to generate a synthetic stand-in with that shape (see the crate docs and
+//! `DESIGN.md` §2 for the substitution rationale).
+
+use crate::dense::{DenseConfig, DenseGenerator};
+use crate::medical::{MedicalConfig, MedicalGenerator};
+use crate::quest::{QuestConfig, QuestGenerator};
+use crate::Transaction;
+
+/// One of the paper's evaluation datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// UCI mushroom records (poisonous/edible, 22 attributes + class).
+    Mushroom,
+    /// IBM Quest synthetic market baskets.
+    T10I4D100K,
+    /// UCI chess endgame positions (king+rook vs king).
+    Chess,
+    /// Census data (pumsb with >80%-frequent items removed).
+    PumsbStar,
+    /// The real-world medical case data of §V.D.
+    Medical,
+}
+
+/// Static facts about a dataset as reported in Table I (plus the support
+/// threshold its figures use).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetProfile {
+    /// Display name as printed in the paper.
+    pub name: &'static str,
+    /// Which dataset.
+    pub dataset: PaperDataset,
+    /// Distinct items (Table I column 2).
+    pub items: u32,
+    /// Transactions (Table I column 3).
+    pub transactions: usize,
+    /// Support threshold used in Figs. 3-5 (fraction).
+    pub support: f64,
+}
+
+impl PaperDataset {
+    /// The four benchmark datasets of Table I, in the paper's order.
+    pub fn benchmarks() -> [PaperDataset; 4] {
+        [
+            PaperDataset::Mushroom,
+            PaperDataset::T10I4D100K,
+            PaperDataset::Chess,
+            PaperDataset::PumsbStar,
+        ]
+    }
+
+    /// Table I facts for this dataset.
+    pub fn profile(&self) -> DatasetProfile {
+        match self {
+            PaperDataset::Mushroom => DatasetProfile {
+                name: "MushRoom",
+                dataset: *self,
+                items: 119,
+                transactions: 8_124,
+                support: 0.35,
+            },
+            PaperDataset::T10I4D100K => DatasetProfile {
+                name: "T10I4D100K",
+                dataset: *self,
+                items: 870,
+                transactions: 100_000,
+                support: 0.0025,
+            },
+            PaperDataset::Chess => DatasetProfile {
+                name: "Chess",
+                dataset: *self,
+                items: 75,
+                transactions: 3_196,
+                support: 0.85,
+            },
+            PaperDataset::PumsbStar => DatasetProfile {
+                name: "Pumsb_star",
+                dataset: *self,
+                items: 2_088,
+                transactions: 49_046,
+                support: 0.65,
+            },
+            PaperDataset::Medical => DatasetProfile {
+                name: "Medical",
+                dataset: *self,
+                items: 900,
+                transactions: 40_000,
+                support: 0.03,
+            },
+        }
+    }
+
+    /// Generate the full-size synthetic stand-in.
+    pub fn generate(&self) -> Vec<Transaction> {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generate with a scaled transaction count (same item universe and
+    /// correlation structure; `scale < 1` keeps tests fast).
+    pub fn generate_scaled(&self, scale: f64) -> Vec<Transaction> {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let p = self.profile();
+        let n = ((p.transactions as f64 * scale).round() as usize).max(10);
+        match self {
+            PaperDataset::Mushroom => DenseGenerator::new(DenseConfig {
+                transactions: n,
+                values: DenseConfig::values_for(23, p.items),
+                dominant_prob: (0.45, 0.92),
+                classes: 2,
+                class_linked_fraction: 0.5,
+                seed: 0x6d75_7368,
+            })
+            .generate(),
+            PaperDataset::Chess => DenseGenerator::new(DenseConfig {
+                transactions: n,
+                values: DenseConfig::values_for(37, p.items),
+                dominant_prob: (0.72, 0.97),
+                classes: 2,
+                class_linked_fraction: 0.25,
+                seed: 0x6368_6573,
+            })
+            .generate(),
+            PaperDataset::PumsbStar => DenseGenerator::new(DenseConfig {
+                transactions: n,
+                values: DenseConfig::values_for(50, p.items),
+                dominant_prob: (0.60, 0.97),
+                classes: 3,
+                class_linked_fraction: 0.4,
+                seed: 0x7075_6d73,
+            })
+            .generate(),
+            PaperDataset::T10I4D100K => QuestGenerator::new(QuestConfig {
+                transactions: n,
+                ..QuestConfig::t10i4d100k()
+            })
+            .generate(),
+            PaperDataset::Medical => MedicalGenerator::new(MedicalConfig {
+                cases: n,
+                ..MedicalConfig::paper_scale()
+            })
+            .generate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn profiles_match_table_1() {
+        let m = PaperDataset::Mushroom.profile();
+        assert_eq!((m.items, m.transactions), (119, 8124));
+        let t = PaperDataset::T10I4D100K.profile();
+        assert_eq!((t.items, t.transactions), (870, 100_000));
+        let c = PaperDataset::Chess.profile();
+        assert_eq!((c.items, c.transactions), (75, 3196));
+        let p = PaperDataset::PumsbStar.profile();
+        assert_eq!((p.items, p.transactions), (2088, 49_046));
+    }
+
+    #[test]
+    fn generated_shape_matches_profiles() {
+        for ds in PaperDataset::benchmarks() {
+            let p = ds.profile();
+            let tx = ds.generate_scaled(0.05);
+            let s = stats(&tx);
+            assert_eq!(
+                s.transactions,
+                ((p.transactions as f64 * 0.05).round() as usize).max(10),
+                "{}",
+                p.name
+            );
+            assert!(
+                s.distinct_items as u32 <= p.items,
+                "{}: {} items > {}",
+                p.name,
+                s.distinct_items,
+                p.items
+            );
+            // Dense sets use (nearly) the whole universe even at 5% scale;
+            // the sparse Quest set covers the full universe only at larger
+            // scales, so the floor here is loose.
+            assert!(
+                s.distinct_items as f64 >= p.items as f64 * 0.3,
+                "{}: only {} of {} items appear",
+                p.name,
+                s.distinct_items,
+                p.items
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_generation_is_prefix_stable_in_count() {
+        let a = PaperDataset::Mushroom.generate_scaled(0.02);
+        let b = PaperDataset::Mushroom.generate_scaled(0.02);
+        assert_eq!(a, b, "same scale is deterministic");
+    }
+
+    #[test]
+    fn medical_profile_generates() {
+        let tx = PaperDataset::Medical.generate_scaled(0.02);
+        assert_eq!(tx.len(), 800);
+    }
+}

@@ -1,0 +1,239 @@
+//! IBM-Quest-style synthetic market-basket generator (Agrawal & Srikant,
+//! the paper's ref \[20\]) — the stand-in for `T10I4D100K`.
+//!
+//! The classic procedure: draw a pool of "potentially large" itemsets
+//! (pattern lengths ~ Poisson around `avg_pattern_len`, successive patterns
+//! sharing a correlated fraction of items, pattern weights exponential);
+//! build each transaction (length ~ Poisson around `avg_transaction_len`) by
+//! sampling weighted patterns, corrupting each (dropping a random suffix
+//! fraction), and topping up with uniform noise items.
+
+use crate::{Item, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Quest generator. `T10I4D100K` in Quest naming means
+/// `avg_transaction_len = 10`, `avg_pattern_len = 4`, 100k transactions.
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Number of transactions (D).
+    pub transactions: usize,
+    /// Item universe size (N).
+    pub items: u32,
+    /// Mean transaction length (T).
+    pub avg_transaction_len: f64,
+    /// Mean pattern length (I).
+    pub avg_pattern_len: f64,
+    /// Number of potentially-large patterns (L).
+    pub patterns: usize,
+    /// Fraction of a pattern reused from its predecessor.
+    pub correlation: f64,
+    /// Mean fraction of a pattern kept when planted (corruption keeps
+    /// a prefix of roughly this share).
+    pub keep_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuestConfig {
+    /// The `T10I4D100K` parameters (Table I row 2).
+    pub fn t10i4d100k() -> Self {
+        QuestConfig {
+            transactions: 100_000,
+            items: 870,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            patterns: 1000,
+            correlation: 0.25,
+            keep_fraction: 0.55,
+            seed: 0x10_4410_0000,
+        }
+    }
+}
+
+/// The generator. Construct once, call [`QuestGenerator::generate`].
+pub struct QuestGenerator {
+    config: QuestConfig,
+}
+
+impl QuestGenerator {
+    /// A generator with the given parameters.
+    pub fn new(config: QuestConfig) -> Self {
+        assert!(config.items > 0 && config.transactions > 0);
+        assert!(config.patterns > 0);
+        QuestGenerator { config }
+    }
+
+    /// Generate the dataset (deterministic for a given config).
+    pub fn generate(&self) -> Vec<Transaction> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- pattern pool ---
+        let mut patterns: Vec<Vec<Item>> = Vec::with_capacity(cfg.patterns);
+        for p in 0..cfg.patterns {
+            let len = poisson_at_least_1(&mut rng, cfg.avg_pattern_len);
+            let mut items = Vec::with_capacity(len);
+            if p > 0 {
+                // Reuse a correlated fraction of the previous pattern.
+                let prev = &patterns[p - 1];
+                for &it in prev {
+                    if rng.gen::<f64>() < cfg.correlation && items.len() < len {
+                        items.push(it);
+                    }
+                }
+            }
+            while items.len() < len {
+                let it = rng.gen_range(0..cfg.items);
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            patterns.push(items);
+        }
+
+        // Exponential pattern weights, normalized into a cumulative table.
+        let weights: Vec<f64> = (0..cfg.patterns)
+            .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(cfg.patterns);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+
+        // --- transactions ---
+        let mut out = Vec::with_capacity(cfg.transactions);
+        for _ in 0..cfg.transactions {
+            let target = poisson_at_least_1(&mut rng, cfg.avg_transaction_len);
+            let mut t: Vec<Item> = Vec::with_capacity(target + 4);
+            // Plant corrupted patterns until the target size is reached.
+            let mut guard = 0;
+            while t.len() < target && guard < 64 {
+                guard += 1;
+                let r = rng.gen::<f64>();
+                let idx = cumulative.partition_point(|&c| c < r).min(cfg.patterns - 1);
+                let pat = &patterns[idx];
+                // Corruption: keep a geometric-ish prefix of the pattern.
+                let mut keep = pat.len();
+                while keep > 1 && rng.gen::<f64>() > cfg.keep_fraction {
+                    keep -= 1;
+                }
+                t.extend(&pat[..keep]);
+            }
+            // Top up with noise if patterns under-filled. Noise popularity
+            // is skewed (squared uniform → low ids favored), matching the
+            // long-tailed item frequencies of real market-basket data; a
+            // uniform fill would make nearly every item frequent at low
+            // support thresholds.
+            while t.len() < target {
+                let r = rng.gen::<f64>();
+                t.push(((r * r) * cfg.items as f64) as Item % cfg.items);
+            }
+            t.sort_unstable();
+            t.dedup();
+            if t.is_empty() {
+                t.push(rng.gen_range(0..cfg.items));
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Poisson-distributed sample via Knuth's method, clamped to ≥ 1.
+fn poisson_at_least_1(rng: &mut StdRng, mean: f64) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            break;
+        }
+        k += 1;
+        if k > (mean * 8.0) as usize + 16 {
+            break; // numeric guard
+        }
+    }
+    k.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stats, validate};
+
+    fn small() -> QuestConfig {
+        QuestConfig {
+            transactions: 2000,
+            items: 200,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            patterns: 50,
+            correlation: 0.5,
+            keep_fraction: 0.8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = QuestGenerator::new(small()).generate();
+        let b = QuestGenerator::new(small()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small();
+        let a = QuestGenerator::new(cfg.clone()).generate();
+        cfg.seed = 8;
+        let b = QuestGenerator::new(cfg).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_shape() {
+        let tx = QuestGenerator::new(small()).generate();
+        validate(&tx, 200).expect("valid transactions");
+        let s = stats(&tx);
+        assert_eq!(s.transactions, 2000);
+        assert!(
+            s.avg_len > 6.0 && s.avg_len < 14.0,
+            "avg length ≈ 10, got {}",
+            s.avg_len
+        );
+    }
+
+    #[test]
+    fn patterns_create_correlation() {
+        // Pattern planting must make some item *pairs* far more frequent
+        // than independence would allow in a 200-item universe.
+        let tx = QuestGenerator::new(small()).generate();
+        let mut pair_counts = std::collections::HashMap::new();
+        for t in &tx {
+            for i in 0..t.len() {
+                for j in i + 1..t.len() {
+                    *pair_counts.entry((t[i], t[j])).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let max_pair = pair_counts.values().copied().max().unwrap_or(0);
+        assert!(
+            max_pair > 100,
+            "expected a strongly correlated pair, best was {max_pair}/2000"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let total: usize = (0..n).map(|_| poisson_at_least_1(&mut rng, 10.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+}

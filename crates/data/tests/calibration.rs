@@ -1,0 +1,90 @@
+//! Calibration guards: the Table I profiles must keep producing workloads
+//! with the mining *shape* the experiments rely on (multi-pass depth,
+//! plausible density). These run on scaled-down generations so the checks
+//! stay fast; the shapes are scale-invariant because thresholds are
+//! fractions.
+//!
+//! (Depth is asserted via pair density rather than by running a miner here —
+//! `yafim-data` deliberately does not depend on `yafim-core`; the full
+//! mining-depth checks live in the core crate's cross-miner tests.)
+
+use std::collections::HashMap;
+use yafim_data::{stats, PaperDataset};
+
+/// Fraction of transactions containing the most frequent item pair.
+fn max_pair_frequency(tx: &[Vec<u32>]) -> f64 {
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for t in tx {
+        for i in 0..t.len() {
+            for j in i + 1..t.len() {
+                *counts.entry((t[i], t[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.values().copied().max().unwrap_or(0) as f64 / tx.len() as f64
+}
+
+#[test]
+fn mushroom_profile_is_dense_enough_for_35_percent() {
+    let tx = PaperDataset::Mushroom.generate_scaled(0.05);
+    assert!(
+        max_pair_frequency(&tx) >= 0.35,
+        "MushRoom must have pairs above its 35% threshold"
+    );
+    let s = stats(&tx);
+    assert!((s.avg_len - 23.0).abs() < 1e-9, "23 attributes per record");
+}
+
+#[test]
+fn chess_profile_is_dense_enough_for_85_percent() {
+    let tx = PaperDataset::Chess.generate_scaled(0.1);
+    assert!(
+        max_pair_frequency(&tx) >= 0.85,
+        "Chess must have pairs above its 85% threshold"
+    );
+    assert!((stats(&tx).avg_len - 37.0).abs() < 1e-9);
+}
+
+#[test]
+fn pumsb_profile_is_dense_enough_for_65_percent() {
+    let tx = PaperDataset::PumsbStar.generate_scaled(0.02);
+    assert!(
+        max_pair_frequency(&tx) >= 0.65,
+        "Pumsb_star must have pairs above its 65% threshold"
+    );
+    assert!((stats(&tx).avg_len - 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn quest_profile_is_sparse_but_patterned() {
+    let tx = PaperDataset::T10I4D100K.generate_scaled(0.05);
+    let top = max_pair_frequency(&tx);
+    // Sparse overall…
+    assert!(top < 0.2, "T10I4D100K is a sparse dataset, top pair {top}");
+    // …but with planted patterns well above its 0.25% threshold.
+    assert!(top >= 0.0025 * 4.0, "patterns must clear the threshold, top {top}");
+    let s = stats(&tx);
+    assert!(s.avg_len > 8.0 && s.avg_len < 14.0);
+}
+
+#[test]
+fn medical_profile_supports_3_percent_mining() {
+    let tx = PaperDataset::Medical.generate_scaled(0.05);
+    assert!(
+        max_pair_frequency(&tx) >= 0.03,
+        "comorbidity pairs must clear the 3% threshold"
+    );
+}
+
+#[test]
+fn all_profiles_are_deterministic_at_any_scale() {
+    for ds in PaperDataset::benchmarks() {
+        for scale in [0.01, 0.03] {
+            assert_eq!(
+                ds.generate_scaled(scale),
+                ds.generate_scaled(scale),
+                "{ds:?} at {scale}"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests over the dataset substrate: every generator must
+//! produce valid transactions for any (bounded) configuration, and the
+//! `.dat` text round trip must be lossless.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use yafim_data::{
+    from_lines, replicate, stats, to_lines, validate, DenseConfig, DenseGenerator,
+    MedicalConfig, MedicalGenerator, QuestConfig, QuestGenerator,
+};
+
+fn sorted_tx() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..1000, 1..30).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dat_roundtrip_is_lossless(tx in vec(sorted_tx(), 0..40)) {
+        prop_assert_eq!(from_lines(&to_lines(&tx)), tx);
+    }
+
+    #[test]
+    fn replicate_concatenates(tx in vec(sorted_tx(), 0..20), times in 1usize..5) {
+        let r = replicate(&tx, times);
+        prop_assert_eq!(r.len(), tx.len() * times);
+        for (i, t) in r.iter().enumerate() {
+            prop_assert_eq!(t, &tx[i % tx.len().max(1)]);
+        }
+    }
+
+    #[test]
+    fn quest_generator_is_valid_and_deterministic(
+        transactions in 1usize..200,
+        items in 10u32..300,
+        seed in any::<u64>(),
+    ) {
+        let cfg = QuestConfig {
+            transactions,
+            items,
+            avg_transaction_len: 6.0,
+            avg_pattern_len: 3.0,
+            patterns: 20,
+            correlation: 0.4,
+            keep_fraction: 0.6,
+            seed,
+        };
+        let a = QuestGenerator::new(cfg.clone()).generate();
+        let b = QuestGenerator::new(cfg).generate();
+        prop_assert_eq!(&a, &b, "same seed, same data");
+        prop_assert_eq!(a.len(), transactions);
+        prop_assert!(validate(&a, items).is_ok());
+    }
+
+    #[test]
+    fn dense_generator_is_valid_fixed_width(
+        transactions in 1usize..200,
+        attrs in 2usize..12,
+        extra_values in 0u32..30,
+        seed in any::<u64>(),
+    ) {
+        let items = attrs as u32 * 2 + extra_values;
+        let cfg = DenseConfig {
+            transactions,
+            values: DenseConfig::values_for(attrs, items),
+            dominant_prob: (0.5, 0.9),
+            classes: 2,
+            class_linked_fraction: 0.3,
+            seed,
+        };
+        let g = DenseGenerator::new(cfg);
+        let tx = g.generate();
+        prop_assert_eq!(tx.len(), transactions);
+        prop_assert!(validate(&tx, g.num_items()).is_ok());
+        prop_assert!(tx.iter().all(|t| t.len() == attrs));
+    }
+
+    #[test]
+    fn medical_generator_is_valid(
+        cases in 1usize..150,
+        entities in 20u32..400,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MedicalConfig {
+            cases,
+            entities,
+            groups: 5,
+            core_size: 1..3,
+            meds_size: 1..4,
+            core_prob: 0.9,
+            med_prob: 0.6,
+            noise_mean: 2.0,
+            seed,
+        };
+        let tx = MedicalGenerator::new(cfg).generate();
+        prop_assert_eq!(tx.len(), cases);
+        prop_assert!(validate(&tx, entities).is_ok());
+    }
+
+    #[test]
+    fn stats_are_consistent(tx in vec(sorted_tx(), 1..30)) {
+        let s = stats(&tx);
+        prop_assert_eq!(s.transactions, tx.len());
+        let total: usize = tx.iter().map(Vec::len).sum();
+        prop_assert!((s.avg_len - total as f64 / tx.len() as f64).abs() < 1e-9);
+        let max_item = tx.iter().flatten().max().copied().unwrap_or(0);
+        prop_assert!(s.distinct_items <= max_item as usize + 1);
+    }
+}

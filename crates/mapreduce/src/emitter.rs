@@ -1,0 +1,56 @@
+//! The output collector handed to mappers and reducers.
+
+/// Collects `(key, value)` emissions from a mapper or reducer
+/// (Hadoop's `OutputCollector` / `Context.write`).
+pub struct Emitter<K, V> {
+    out: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Emitter { out: Vec::new() }
+    }
+
+    /// Emit one pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.out.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Consume the collector, yielding the emissions in order.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.out
+    }
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_in_order() {
+        let mut e = Emitter::new();
+        assert!(e.is_empty());
+        e.emit("a", 1);
+        e.emit("b", 2);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![("a", 1), ("b", 2)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Job description: the typed mapper/combiner/reducer closures plus the
+//! Hadoop-style configuration knobs.
+
+use crate::emitter::Emitter;
+use std::sync::Arc;
+use yafim_cluster::{ByteSize, WorkCounters};
+
+/// Bound for intermediate/output keys: hashable (partitioning), ordered
+/// (Hadoop's sort-based shuffle presents keys in sorted order), sizeable
+/// (shuffle byte accounting).
+pub trait MrKey: Clone + Send + Sync + std::hash::Hash + Eq + Ord + ByteSize + 'static {}
+impl<T: Clone + Send + Sync + std::hash::Hash + Eq + Ord + ByteSize + 'static> MrKey for T {}
+
+/// Bound for intermediate/output values.
+pub trait MrValue: Clone + Send + Sync + ByteSize + 'static {}
+impl<T: Clone + Send + Sync + ByteSize + 'static> MrValue for T {}
+
+/// Mapper: `(byte offset, line, collector, work counters)`.
+pub type MapFn<KM, VM> =
+    Arc<dyn Fn(u64, &str, &mut Emitter<KM, VM>, &mut WorkCounters) + Send + Sync>;
+/// Split-level mapper: `(first line offset, all split lines, collector, work
+/// counters)` — for algorithms that need the whole split at once (SON's
+/// local mining phase; the equivalent of doing the work in Hadoop's
+/// `cleanup()` after buffering).
+pub type SplitMapFn<KM, VM> =
+    Arc<dyn Fn(u64, &[String], &mut Emitter<KM, VM>, &mut WorkCounters) + Send + Sync>;
+
+/// The map phase: per-line (classic) or per-split.
+pub enum MapPhase<KM, VM> {
+    /// Called once per input line.
+    PerLine(MapFn<KM, VM>),
+    /// Called once per input split with all its lines.
+    PerSplit(SplitMapFn<KM, VM>),
+}
+/// Combiner: collapse one key's map-local values.
+pub type CombineFn<KM, VM> = Arc<dyn Fn(&KM, Vec<VM>) -> VM + Send + Sync>;
+/// Reducer: `(key, all values, collector, work counters)`.
+pub type ReduceFn<KM, VM, KO, VO> =
+    Arc<dyn Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters) + Send + Sync>;
+/// Text output format for committed results.
+pub type FormatFn<KO, VO> = Arc<dyn Fn(&KO, &VO) -> String + Send + Sync>;
+
+/// Where and how a job commits its output to HDFS.
+pub struct OutputSpec<KO, VO> {
+    /// HDFS path of the (single, for simplicity) output part file.
+    pub path: String,
+    /// Formats one output pair as a line of text.
+    pub format: FormatFn<KO, VO>,
+}
+
+/// A complete MapReduce job over text input.
+///
+/// Type parameters: `KM`/`VM` are the intermediate (map output) pair,
+/// `KO`/`VO` the final (reduce output) pair.
+pub struct MapReduceJob<KM, VM, KO, VO> {
+    /// Human-readable job name (event log label).
+    pub name: String,
+    /// HDFS path of the text input.
+    pub input: String,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Input split size override in bytes (`None` = one split per HDFS
+    /// block, the Hadoop default).
+    pub split_size: Option<u64>,
+    /// Bytes of side data shipped to every node via the distributed cache
+    /// before the job starts (MR-Apriori ships the candidate set this way).
+    pub side_data_bytes: u64,
+    pub(crate) mapper: MapPhase<KM, VM>,
+    pub(crate) combiner: Option<CombineFn<KM, VM>>,
+    pub(crate) reducer: ReduceFn<KM, VM, KO, VO>,
+    pub(crate) output: Option<OutputSpec<KO, VO>>,
+}
+
+impl<KM: MrKey, VM: MrValue, KO: MrValue, VO: MrValue> MapReduceJob<KM, VM, KO, VO> {
+    /// A job with the two mandatory phases. Defaults: one reduce task per
+    /// virtual core is decided by the runner when left at 0; block-sized
+    /// splits; no combiner; no committed output.
+    pub fn new(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        mapper: impl Fn(u64, &str, &mut Emitter<KM, VM>, &mut WorkCounters) + Send + Sync + 'static,
+        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters)
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        MapReduceJob {
+            name: name.into(),
+            input: input.into(),
+            reduce_tasks: 0,
+            split_size: None,
+            side_data_bytes: 0,
+            mapper: MapPhase::PerLine(Arc::new(mapper)),
+            combiner: None,
+            reducer: Arc::new(reducer),
+            output: None,
+        }
+    }
+
+    /// Like [`MapReduceJob::new`] but with a split-level mapper that sees a
+    /// whole input split at once (see [`MapPhase::PerSplit`]).
+    pub fn new_per_split(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        mapper: impl Fn(u64, &[String], &mut Emitter<KM, VM>, &mut WorkCounters)
+            + Send
+            + Sync
+            + 'static,
+        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters)
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        MapReduceJob {
+            name: name.into(),
+            input: input.into(),
+            reduce_tasks: 0,
+            split_size: None,
+            side_data_bytes: 0,
+            mapper: MapPhase::PerSplit(Arc::new(mapper)),
+            combiner: None,
+            reducer: Arc::new(reducer),
+            output: None,
+        }
+    }
+
+    /// Add a map-side combiner.
+    pub fn with_combiner(
+        mut self,
+        combiner: impl Fn(&KM, Vec<VM>) -> VM + Send + Sync + 'static,
+    ) -> Self {
+        self.combiner = Some(Arc::new(combiner));
+        self
+    }
+
+    /// Set the number of reduce tasks.
+    pub fn with_reduce_tasks(mut self, n: usize) -> Self {
+        self.reduce_tasks = n;
+        self
+    }
+
+    /// Override the input split size in bytes.
+    pub fn with_split_size(mut self, bytes: u64) -> Self {
+        self.split_size = Some(bytes.max(1));
+        self
+    }
+
+    /// Ship `bytes` of side data to every node (distributed cache).
+    pub fn with_side_data(mut self, bytes: u64) -> Self {
+        self.side_data_bytes = bytes;
+        self
+    }
+
+    /// Commit output to HDFS at `path`, one formatted line per pair.
+    pub fn with_output(mut self, path: impl Into<String>, format: FormatFn<KO, VO>) -> Self {
+        self.output = Some(OutputSpec {
+            path: path.into(),
+            format,
+        });
+        self
+    }
+}

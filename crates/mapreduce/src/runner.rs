@@ -1,0 +1,316 @@
+//! The job runner: executes a [`MapReduceJob`] for real and charges
+//! Hadoop-shaped virtual time.
+
+use crate::emitter::Emitter;
+use crate::job::{MapReduceJob, MrKey, MrValue};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yafim_cluster::{
+    bucket_of, slice_bytes, DfsError, DfsFile, EventKind, SimCluster, SimDuration, TaskSpec,
+    WorkCounters,
+};
+
+/// Aggregate facts about one executed job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobStats {
+    /// Number of map tasks (input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Records crossing the shuffle (after the combiner, if any).
+    pub shuffle_records: u64,
+    /// Estimated bytes crossing the shuffle.
+    pub shuffle_bytes: u64,
+    /// Input bytes read.
+    pub input_bytes: u64,
+    /// Output records produced by the reducers.
+    pub output_records: u64,
+}
+
+/// Result of one job: the real output pairs (in reduce-task, then sorted-key
+/// order), the committed HDFS file if requested, and stats.
+pub struct MrJobResult<KO, VO> {
+    /// All reducer emissions.
+    pub pairs: Vec<(KO, VO)>,
+    /// The committed output file, when the job specified one.
+    pub output_file: Option<DfsFile>,
+    /// Aggregate counters.
+    pub stats: JobStats,
+}
+
+/// Executes jobs against one virtual cluster.
+#[derive(Clone)]
+pub struct MrRunner {
+    cluster: SimCluster,
+}
+
+impl MrRunner {
+    /// A runner over `cluster`.
+    pub fn new(cluster: SimCluster) -> Self {
+        MrRunner { cluster }
+    }
+
+    /// The cluster this runner executes on.
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// Execute one job: map → shuffle/sort → reduce → commit.
+    pub fn run<KM: MrKey, VM: MrValue, KO: MrValue, VO: MrValue>(
+        &self,
+        job: MapReduceJob<KM, VM, KO, VO>,
+    ) -> Result<MrJobResult<KO, VO>, DfsError> {
+        let cluster = &self.cluster;
+        let cost = cluster.cost().clone();
+        let spec = cluster.spec().clone();
+        let metrics = cluster.metrics().clone();
+        let file = cluster.hdfs().get(&job.input)?;
+
+        let job_start = metrics.now();
+        metrics.advance(SimDuration::from_secs(cost.mr_job_overhead));
+
+        // Distributed-cache localization: every node pulls the side data
+        // from its `replication` HDFS sources, so the pull contends by a
+        // factor of nodes/replication.
+        if job.side_data_bytes > 0 {
+            let contention = (spec.nodes as f64 / cost.hdfs_replication as f64).max(1.0);
+            metrics.advance_with_event(
+                cost.net_transfer(job.side_data_bytes) * contention,
+                EventKind::Broadcast,
+                format!("{}: distributed cache {}B", job.name, job.side_data_bytes),
+            );
+        }
+
+        // ---- map phase ----
+        let splits = match job.split_size {
+            Some(s) => file.splits((file.bytes().div_ceil(s)).max(1) as usize),
+            None => file.splits(file.blocks().len()),
+        };
+        let map_tasks = splits.len();
+        let reduce_tasks = if job.reduce_tasks == 0 {
+            spec.total_cores() as usize
+        } else {
+            job.reduce_tasks
+        };
+
+        let mapper = match &job.mapper {
+            crate::job::MapPhase::PerLine(f) => crate::job::MapPhase::PerLine(Arc::clone(f)),
+            crate::job::MapPhase::PerSplit(f) => crate::job::MapPhase::PerSplit(Arc::clone(f)),
+        };
+        let combiner = job.combiner.clone();
+        let side_bytes = job.side_data_bytes;
+        let spill_factor = cost.mr_spill_factor;
+        let file_for_tasks = file.clone();
+        let splits_for_tasks = splits.clone();
+
+        type MapOut<KM, VM> = (Vec<Vec<(KM, VM)>>, WorkCounters);
+        let map_outs: Vec<MapOut<KM, VM>> = cluster.pool().map(
+            (0..map_tasks).collect::<Vec<usize>>(),
+            move |_, i| {
+                let split = &splits_for_tasks[i];
+                let mut w = WorkCounters::new();
+                w.add_disk_read(split.bytes); // locality-scheduled: local read
+                if side_bytes > 0 {
+                    w.add_disk_read(side_bytes); // localized cache file
+                }
+
+                let mut em = Emitter::new();
+                let lines = &file_for_tasks.lines()[split.lines.clone()];
+                match &mapper {
+                    crate::job::MapPhase::PerLine(f) => {
+                        for (j, line) in lines.iter().enumerate() {
+                            w.add_records_in(1);
+                            f((split.lines.start + j) as u64, line, &mut em, &mut w);
+                        }
+                    }
+                    crate::job::MapPhase::PerSplit(f) => {
+                        w.add_records_in(lines.len() as u64);
+                        f(split.lines.start as u64, lines, &mut em, &mut w);
+                    }
+                }
+                let mut pairs = em.into_pairs();
+                w.add_records_out(pairs.len() as u64);
+
+                // Optional combine: group map-local values per key.
+                if let Some(comb) = &combiner {
+                    let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
+                    for (k, v) in pairs {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    w.add_cpu(groups.len() as u64);
+                    pairs = groups
+                        .into_iter()
+                        .map(|(k, vs)| {
+                            let v = comb(&k, vs);
+                            (k, v)
+                        })
+                        .collect();
+                } else {
+                    // Hadoop sorts map output by key either way.
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+                let n = pairs.len() as u64;
+                w.add_cpu(n * (64 - n.leading_zeros() as u64)); // sort comparisons
+
+                // Partition into reduce buckets.
+                let mut buckets: Vec<Vec<(KM, VM)>> =
+                    (0..reduce_tasks).map(|_| Vec::new()).collect();
+                for (k, v) in pairs {
+                    buckets[bucket_of(&k, reduce_tasks)].push((k, v));
+                }
+                let bytes: u64 = buckets.iter().map(|b| slice_bytes(b)).sum();
+                w.add_ser(bytes);
+                // Spill traffic: write the sorted runs, read them back for
+                // the merge.
+                let spill = (bytes as f64 * spill_factor / 2.0) as u64;
+                w.add_disk_write(spill);
+                w.add_disk_read(spill);
+
+                (buckets, w)
+            },
+        );
+
+        // Charge the map wave.
+        let mut merged = WorkCounters::new();
+        let task_specs: Vec<TaskSpec> = map_outs
+            .iter()
+            .zip(&splits)
+            .map(|((_, w), split)| {
+                merged.merge(w);
+                TaskSpec::local(
+                    SimDuration::from_secs(cost.mr_task_overhead) + w.data_time(&cost),
+                    split.preferred_node,
+                )
+            })
+            .collect();
+        let outcome = cluster.scheduler().schedule(&task_specs);
+        let map_time =
+            outcome.makespan + SimDuration::from_secs(cost.mr_wave_latency) * outcome.waves as f64;
+        metrics.advance_with_event(map_time, EventKind::Stage, format!("{}: map", job.name));
+        metrics.count_stage();
+        metrics.count_tasks(map_tasks as u64, &merged);
+
+        // ---- shuffle: concatenate buckets in map-task order ----
+        let mut buckets: Vec<Vec<(KM, VM)>> = (0..reduce_tasks).map(|_| Vec::new()).collect();
+        let mut shuffle_records = 0u64;
+        for (map_out, _) in map_outs {
+            for (i, b) in map_out.into_iter().enumerate() {
+                shuffle_records += b.len() as u64;
+                buckets[i].extend(b);
+            }
+        }
+        let bucket_bytes: Vec<u64> = buckets.iter().map(|b| slice_bytes(b)).collect();
+        let shuffle_bytes: u64 = bucket_bytes.iter().sum();
+
+        // ---- reduce phase ----
+        let reducer = Arc::clone(&job.reducer);
+        let format = job.output.as_ref().map(|o| Arc::clone(&o.format));
+        let nodes = spec.nodes as u64;
+        let replication = cost.hdfs_replication as u64;
+        let buckets = Arc::new(buckets);
+        let bucket_bytes_arc = Arc::new(bucket_bytes);
+
+        type ReduceOut<KO, VO> = (Vec<(KO, VO)>, Vec<String>, WorkCounters);
+        let reduce_outs: Vec<ReduceOut<KO, VO>> = cluster.pool().map(
+            (0..reduce_tasks).collect::<Vec<usize>>(),
+            move |_, r| {
+                let mut w = WorkCounters::new();
+                let bytes = bucket_bytes_arc[r];
+                let local = bytes / nodes.max(1);
+                w.add_disk_read(local);
+                w.add_net(bytes - local);
+                w.add_ser(bytes);
+
+                let bucket = &buckets[r];
+                w.add_records_in(bucket.len() as u64);
+                let n = bucket.len() as u64;
+                w.add_cpu(n * (64 - n.leading_zeros() as u64)); // merge sort
+
+                let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
+                for (k, v) in bucket.iter() {
+                    groups.entry(k.clone()).or_default().push(v.clone());
+                }
+
+                let mut em = Emitter::new();
+                for (k, vs) in groups {
+                    reducer(&k, vs, &mut em, &mut w);
+                }
+                let pairs = em.into_pairs();
+                w.add_records_out(pairs.len() as u64);
+
+                let mut lines = Vec::new();
+                if let Some(fmt) = &format {
+                    lines.reserve(pairs.len());
+                    let mut out_bytes = 0u64;
+                    for (k, v) in &pairs {
+                        let line = fmt(k, v);
+                        out_bytes += line.len() as u64 + 1;
+                        lines.push(line);
+                    }
+                    // HDFS commit: local write plus pipeline replication.
+                    w.add_disk_write(out_bytes);
+                    w.add_net(out_bytes * (replication.saturating_sub(1)));
+                }
+
+                (pairs, lines, w)
+            },
+        );
+
+        let mut merged = WorkCounters::new();
+        let task_specs: Vec<TaskSpec> = reduce_outs
+            .iter()
+            .map(|(_, _, w)| {
+                merged.merge(w);
+                TaskSpec::anywhere(SimDuration::from_secs(cost.mr_task_overhead) + w.data_time(&cost))
+            })
+            .collect();
+        let outcome = cluster.scheduler().schedule(&task_specs);
+        let reduce_time =
+            outcome.makespan + SimDuration::from_secs(cost.mr_wave_latency) * outcome.waves as f64;
+        metrics.advance_with_event(reduce_time, EventKind::Stage, format!("{}: reduce", job.name));
+        metrics.count_stage();
+        metrics.count_tasks(reduce_tasks as u64, &merged);
+
+        // ---- commit & gather ----
+        let mut pairs = Vec::new();
+        let mut all_lines = Vec::new();
+        for (p, l, _) in reduce_outs {
+            pairs.extend(p);
+            all_lines.extend(l);
+        }
+        let output_records = pairs.len() as u64;
+
+        let output_file = match &job.output {
+            Some(spec_out) => {
+                let f = cluster.hdfs().put_overwrite(&spec_out.path, all_lines);
+                metrics.advance_with_event(
+                    SimDuration::from_millis(100.0), // namenode commit round-trip
+                    EventKind::HdfsWrite,
+                    format!("{}: commit {}", job.name, spec_out.path),
+                );
+                Some(f)
+            }
+            None => None,
+        };
+
+        // The driver reads the (small) result pairs back.
+        let result_bytes = slice_bytes(&pairs);
+        metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
+
+        metrics.record_span(EventKind::Job, job.name.clone(), job_start);
+        metrics.count_job();
+
+        Ok(MrJobResult {
+            pairs,
+            output_file,
+            stats: JobStats {
+                map_tasks,
+                reduce_tasks,
+                shuffle_records,
+                shuffle_bytes,
+                input_bytes: file.bytes(),
+                output_records,
+            },
+        })
+    }
+}

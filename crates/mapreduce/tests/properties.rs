@@ -1,0 +1,150 @@
+//! Property-based tests over the MapReduce engine: job semantics must match
+//! the in-memory equivalents for arbitrary inputs and configurations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_mapreduce::{Emitter, MapReduceJob, MrRunner};
+
+fn cluster() -> SimCluster {
+    SimCluster::with_threads(ClusterSpec::new(3, 2, 1 << 30), CostModel::hadoop_era(), 2)
+}
+
+/// Lines of small integer tokens.
+fn corpus() -> impl Strategy<Value = Vec<String>> {
+    vec(vec(0u32..20, 0..8), 0..40).prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    })
+}
+
+fn expected_counts(lines: &[String]) -> HashMap<u32, u64> {
+    let mut m = HashMap::new();
+    for l in lines {
+        for t in l.split_whitespace() {
+            *m.entry(t.parse::<u32>().expect("numeric token")).or_insert(0u64) += 1;
+        }
+    }
+    m
+}
+
+fn count_job(input: &str) -> MapReduceJob<u32, u64, u32, u64> {
+    MapReduceJob::new(
+        "count",
+        input,
+        |_o, line: &str, em: &mut Emitter<u32, u64>, _w| {
+            for t in line.split_whitespace() {
+                em.emit(t.parse().expect("numeric token"), 1);
+            }
+        },
+        |k: &u32, vs: Vec<u64>, em: &mut Emitter<u32, u64>, _w| {
+            em.emit(*k, vs.into_iter().sum())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counting_matches_hashmap(lines in corpus(), reduce_tasks in 1usize..8) {
+        let c = cluster();
+        c.hdfs().put_overwrite("in.txt", lines.clone());
+        let result = MrRunner::new(c)
+            .run(count_job("in.txt").with_reduce_tasks(reduce_tasks))
+            .expect("input exists");
+        let expected = expected_counts(&lines);
+        prop_assert_eq!(result.pairs.len(), expected.len());
+        for (k, v) in result.pairs {
+            prop_assert_eq!(expected.get(&k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn combiner_never_changes_results(lines in corpus(), split_size in 16u64..512) {
+        let run = |with_combiner: bool| {
+            let c = cluster();
+            c.hdfs().put_overwrite("in.txt", lines.clone());
+            let job = count_job("in.txt").with_split_size(split_size);
+            let job = if with_combiner {
+                job.with_combiner(|_k: &u32, vs: Vec<u64>| vs.into_iter().sum())
+            } else {
+                job
+            };
+            let mut pairs = MrRunner::new(c).run(job).expect("input exists").pairs;
+            pairs.sort();
+            pairs
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn per_split_mapper_equals_per_line_mapper(lines in corpus(), split_size in 16u64..512) {
+        let per_line = {
+            let c = cluster();
+            c.hdfs().put_overwrite("in.txt", lines.clone());
+            let mut p = MrRunner::new(c)
+                .run(count_job("in.txt").with_split_size(split_size))
+                .expect("input exists")
+                .pairs;
+            p.sort();
+            p
+        };
+        let per_split = {
+            let c = cluster();
+            c.hdfs().put_overwrite("in.txt", lines.clone());
+            let job = MapReduceJob::new_per_split(
+                "count",
+                "in.txt",
+                |_o, lines: &[String], em: &mut Emitter<u32, u64>, _w| {
+                    for line in lines {
+                        for t in line.split_whitespace() {
+                            em.emit(t.parse().expect("numeric token"), 1);
+                        }
+                    }
+                },
+                |k: &u32, vs: Vec<u64>, em: &mut Emitter<u32, u64>, _w| {
+                    em.emit(*k, vs.into_iter().sum())
+                },
+            )
+            .with_split_size(split_size);
+            let mut p = MrRunner::new(c).run(job).expect("input exists").pairs;
+            p.sort();
+            p
+        };
+        prop_assert_eq!(per_line, per_split);
+    }
+
+    #[test]
+    fn virtual_time_deterministic(lines in corpus()) {
+        let run = || {
+            let c = cluster();
+            c.hdfs().put_overwrite("in.txt", lines.clone());
+            MrRunner::new(c.clone()).run(count_job("in.txt")).expect("input exists");
+            c.metrics().now().as_secs()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reduce_task_count_only_affects_time(lines in corpus()) {
+        let run = |reduce_tasks: usize| {
+            let c = cluster();
+            c.hdfs().put_overwrite("in.txt", lines.clone());
+            let mut p = MrRunner::new(c)
+                .run(count_job("in.txt").with_reduce_tasks(reduce_tasks))
+                .expect("input exists")
+                .pairs;
+            p.sort();
+            p
+        };
+        prop_assert_eq!(run(1), run(7));
+    }
+}

@@ -1,0 +1,410 @@
+//! The block-manager equivalent: storage for cached RDD partitions.
+//!
+//! Each cached partition lives on its home node and counts against that
+//! node's memory budget. When a node's budget is exceeded the least recently
+//! used partition on that node is evicted; what eviction *means* depends on
+//! the partition's [`StorageLevel`]:
+//!
+//! * [`StorageLevel::MemoryOnly`] (Spark's default, and what the paper's
+//!   YAFIM uses) — the partition is dropped and a later read recomputes it
+//!   through the lineage;
+//! * [`StorageLevel::MemoryAndDisk`] — the partition is demoted to the
+//!   node-local disk tier; later reads pay a disk scan instead of a
+//!   recompute.
+//!
+//! This is what makes the "memory utilization" discussion of the paper's
+//! §IV.B (and the cache ablation bench) observable.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+use yafim_cluster::{ClusterSpec, FxHashMap};
+
+/// How a cached partition behaves under memory pressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageLevel {
+    /// Keep in memory; evict = drop (recompute later). Spark's default.
+    #[default]
+    MemoryOnly,
+    /// Keep in memory; evict = spill to node-local disk.
+    MemoryAndDisk,
+}
+
+/// Where a cache hit was served from (drives the virtual I/O charge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory hit: charged as a memory scan.
+    Memory,
+    /// Disk-tier hit: charged as a node-local disk read.
+    Disk,
+}
+
+/// Statistics over the lifetime of a cache manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful in-memory lookups.
+    pub hits: u64,
+    /// Successful disk-tier lookups.
+    pub disk_hits: u64,
+    /// Lookups that missed entirely (never stored, or dropped).
+    pub misses: u64,
+    /// Partitions evicted from memory (dropped or spilled).
+    pub evictions: u64,
+    /// Partitions currently in memory.
+    pub entries: usize,
+    /// Partitions currently on the disk tier.
+    pub disk_entries: usize,
+    /// Bytes currently held in memory across all nodes.
+    pub used_bytes: u64,
+    /// Bytes currently held on the disk tier across all nodes.
+    pub disk_bytes: u64,
+}
+
+struct Entry {
+    data: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    node: usize,
+    last_use: u64,
+    level: StorageLevel,
+}
+
+struct DiskEntry {
+    data: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+}
+
+struct Inner {
+    entries: FxHashMap<(u64, usize), Entry>,
+    disk: FxHashMap<(u64, usize), DiskEntry>,
+    used: Vec<u64>,
+    disk_used: u64,
+    tick: u64,
+    hits: u64,
+    disk_hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe cache of `(rdd id, partition) → Arc<Vec<T>>`.
+pub struct CacheManager {
+    inner: Mutex<Inner>,
+    capacity_per_node: u64,
+    nodes: usize,
+}
+
+impl CacheManager {
+    /// Cache sized from the cluster spec (a fraction of node memory is
+    /// reserved for execution, as in Spark; we budget 60% for storage).
+    pub fn new(spec: &ClusterSpec) -> Self {
+        Self::with_capacity(spec.nodes as usize, spec.memory_per_node * 6 / 10)
+    }
+
+    /// Explicit per-node capacity (tests and the cache-pressure ablation).
+    pub fn with_capacity(nodes: usize, capacity_per_node: u64) -> Self {
+        CacheManager {
+            inner: Mutex::new(Inner {
+                entries: FxHashMap::default(),
+                disk: FxHashMap::default(),
+                used: vec![0; nodes],
+                disk_used: 0,
+                tick: 0,
+                hits: 0,
+                disk_hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity_per_node,
+            nodes,
+        }
+    }
+
+    /// Look up a cached partition in memory, then on the disk tier. Returns
+    /// the shared data, its byte size, and the tier that served it.
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        rdd: u64,
+        part: usize,
+    ) -> Option<(Arc<Vec<T>>, u64, CacheTier)> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(e) = g.entries.get_mut(&(rdd, part)) {
+            e.last_use = tick;
+            let data = Arc::clone(&e.data)
+                .downcast::<Vec<T>>()
+                .expect("cached partition type mismatch");
+            let bytes = e.bytes;
+            g.hits += 1;
+            return Some((data, bytes, CacheTier::Memory));
+        }
+        if let Some(e) = g.disk.get(&(rdd, part)) {
+            let data = Arc::clone(&e.data)
+                .downcast::<Vec<T>>()
+                .expect("cached partition type mismatch");
+            let bytes = e.bytes;
+            g.disk_hits += 1;
+            return Some((data, bytes, CacheTier::Disk));
+        }
+        g.misses += 1;
+        None
+    }
+
+    /// Store a partition on `node`'s memory budget at the given level,
+    /// evicting LRU entries on that node as needed (drop or spill according
+    /// to each victim's own level). Returns `false` (and stores nothing in
+    /// memory) if the partition alone exceeds the node budget — except that
+    /// a `MemoryAndDisk` partition then goes straight to disk and `true` is
+    /// returned.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        rdd: u64,
+        part: usize,
+        node: usize,
+        data: Arc<Vec<T>>,
+        bytes: u64,
+        level: StorageLevel,
+    ) -> bool {
+        assert!(node < self.nodes, "node out of range");
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+
+        // Replacing an existing entry frees its bytes first.
+        if let Some(old) = g.entries.remove(&(rdd, part)) {
+            g.used[old.node] -= old.bytes;
+        }
+        if let Some(old) = g.disk.remove(&(rdd, part)) {
+            g.disk_used -= old.bytes;
+        }
+
+        if bytes > self.capacity_per_node {
+            return match level {
+                StorageLevel::MemoryOnly => false,
+                StorageLevel::MemoryAndDisk => {
+                    g.disk_used += bytes;
+                    g.disk.insert((rdd, part), DiskEntry { data, bytes });
+                    true
+                }
+            };
+        }
+
+        while g.used[node] + bytes > self.capacity_per_node {
+            // Evict the least recently used entry on this node.
+            let victim = g
+                .entries
+                .iter()
+                .filter(|(_, e)| e.node == node)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = g.entries.remove(&k).expect("victim exists");
+                    g.used[e.node] -= e.bytes;
+                    g.evictions += 1;
+                    if e.level == StorageLevel::MemoryAndDisk {
+                        g.disk_used += e.bytes;
+                        g.disk.insert(
+                            k,
+                            DiskEntry {
+                                data: e.data,
+                                bytes: e.bytes,
+                            },
+                        );
+                    }
+                }
+                None => break, // nothing left to evict; shouldn't happen given the size guard
+            }
+        }
+
+        g.used[node] += bytes;
+        g.entries.insert(
+            (rdd, part),
+            Entry {
+                data,
+                bytes,
+                node,
+                last_use: tick,
+                level,
+            },
+        );
+        true
+    }
+
+    /// Drop one cached partition from every tier (fault injection /
+    /// unpersist). Returns whether it was present anywhere.
+    pub fn evict(&self, rdd: u64, part: usize) -> bool {
+        let mut g = self.inner.lock();
+        let mut found = false;
+        if let Some(e) = g.entries.remove(&(rdd, part)) {
+            g.used[e.node] -= e.bytes;
+            found = true;
+        }
+        if let Some(e) = g.disk.remove(&(rdd, part)) {
+            g.disk_used -= e.bytes;
+            found = true;
+        }
+        found
+    }
+
+    /// Drop every cached partition of an RDD, both tiers (unpersist).
+    pub fn evict_rdd(&self, rdd: u64) -> usize {
+        let mut g = self.inner.lock();
+        let mem_keys: Vec<_> = g
+            .entries
+            .keys()
+            .filter(|(r, _)| *r == rdd)
+            .copied()
+            .collect();
+        for k in &mem_keys {
+            let e = g.entries.remove(k).expect("key just listed");
+            g.used[e.node] -= e.bytes;
+        }
+        let disk_keys: Vec<_> = g.disk.keys().filter(|(r, _)| *r == rdd).copied().collect();
+        for k in &disk_keys {
+            let e = g.disk.remove(k).expect("key just listed");
+            g.disk_used -= e.bytes;
+        }
+        mem_keys.len() + disk_keys.len()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        CacheStats {
+            hits: g.hits,
+            disk_hits: g.disk_hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.entries.len(),
+            disk_entries: g.disk.len(),
+            used_bytes: g.used.iter().sum(),
+            disk_bytes: g.disk_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(cap: u64) -> CacheManager {
+        CacheManager::with_capacity(2, cap)
+    }
+
+    fn mem_put(c: &CacheManager, rdd: u64, part: usize, node: usize, bytes: u64) -> bool {
+        c.put(rdd, part, node, Arc::new(vec![0u8]), bytes, StorageLevel::MemoryOnly)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c = mgr(1000);
+        assert!(c.put(
+            1,
+            0,
+            0,
+            Arc::new(vec![1u32, 2, 3]),
+            12,
+            StorageLevel::MemoryOnly
+        ));
+        let (data, bytes, tier) = c.get::<u32>(1, 0).expect("hit");
+        assert_eq!(*data, vec![1, 2, 3]);
+        assert_eq!(bytes, 12);
+        assert_eq!(tier, CacheTier::Memory);
+        assert!(c.get::<u32>(1, 1).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn oversized_memory_only_partition_is_rejected() {
+        let c = mgr(10);
+        assert!(!mem_put(&c, 1, 0, 0, 100));
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn oversized_memory_and_disk_partition_goes_to_disk() {
+        let c = mgr(10);
+        assert!(c.put(1, 0, 0, Arc::new(vec![7u8]), 100, StorageLevel::MemoryAndDisk));
+        let (_, _, tier) = c.get::<u8>(1, 0).expect("disk hit");
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(c.stats().disk_entries, 1);
+        assert_eq!(c.stats().disk_bytes, 100);
+    }
+
+    #[test]
+    fn lru_eviction_per_node() {
+        let c = mgr(100);
+        assert!(mem_put(&c, 1, 0, 0, 60));
+        assert!(mem_put(&c, 1, 1, 0, 30));
+        // Touch (1,0) so (1,1) becomes LRU.
+        c.get::<u8>(1, 0);
+        assert!(mem_put(&c, 1, 2, 0, 30));
+        assert!(c.get::<u8>(1, 1).is_none(), "LRU MemoryOnly entry dropped");
+        assert!(c.get::<u8>(1, 0).is_some(), "recently used survives");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn memory_and_disk_spills_instead_of_dropping() {
+        let c = mgr(100);
+        assert!(c.put(1, 0, 0, Arc::new(vec![1u8]), 60, StorageLevel::MemoryAndDisk));
+        assert!(c.put(1, 1, 0, Arc::new(vec![2u8]), 60, StorageLevel::MemoryAndDisk));
+        // (1,0) was evicted to disk.
+        let (_, _, tier0) = c.get::<u8>(1, 0).expect("spilled, not lost");
+        assert_eq!(tier0, CacheTier::Disk);
+        let (_, _, tier1) = c.get::<u8>(1, 1).expect("resident");
+        assert_eq!(tier1, CacheTier::Memory);
+        let s = c.stats();
+        assert_eq!((s.entries, s.disk_entries, s.evictions), (1, 1, 1));
+    }
+
+    #[test]
+    fn nodes_have_independent_budgets() {
+        let c = mgr(100);
+        assert!(mem_put(&c, 1, 0, 0, 80));
+        assert!(mem_put(&c, 1, 1, 1, 80));
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().used_bytes, 160);
+    }
+
+    #[test]
+    fn replacing_entry_frees_old_bytes() {
+        let c = mgr(100);
+        assert!(mem_put(&c, 1, 0, 0, 90));
+        assert!(mem_put(&c, 1, 0, 0, 90));
+        assert_eq!(c.stats().used_bytes, 90);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evict_rdd_clears_both_tiers() {
+        let c = mgr(100);
+        for p in 0..3 {
+            c.put(
+                7,
+                p,
+                0,
+                Arc::new(vec![p as u32]),
+                60,
+                StorageLevel::MemoryAndDisk,
+            );
+        }
+        mem_put(&c, 8, 0, 1, 4);
+        assert_eq!(c.evict_rdd(7), 3, "one resident + two spilled");
+        let s = c.stats();
+        assert_eq!((s.entries, s.disk_entries), (1, 0));
+        assert!(c.get::<u8>(8, 0).is_some());
+    }
+
+    #[test]
+    fn explicit_evict_clears_both_tiers() {
+        let c = mgr(100);
+        c.put(1, 0, 0, Arc::new(vec![1u32]), 60, StorageLevel::MemoryAndDisk);
+        c.put(1, 1, 0, Arc::new(vec![2u32]), 60, StorageLevel::MemoryAndDisk);
+        assert!(c.evict(1, 0), "spilled entry evictable");
+        assert!(!c.evict(1, 0));
+        assert!(c.get::<u32>(1, 0).is_none());
+        assert_eq!(c.stats().disk_bytes, 0);
+    }
+}

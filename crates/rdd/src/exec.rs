@@ -1,0 +1,174 @@
+//! The executor: runs stages on the real thread pool and charges virtual
+//! time for them.
+//!
+//! An action is one *job*. A job is: per-job driver overhead, then every
+//! shuffle stage in the lineage (bottom-up, deduplicated), then the final
+//! stage, then the cost of fetching results to the driver.
+//!
+//! Each stage runs its tasks for real (pool-parallel), gathers per-task
+//! [`yafim_cluster::WorkCounters`], converts them into virtual durations
+//! under the cost model, list-schedules those durations onto the virtual
+//! cluster, and advances the shared virtual clock by the stage overhead plus
+//! the makespan.
+
+use crate::context::Context;
+use crate::rdd::{materialize, node_for, Data, Rdd, RddImpl};
+use crate::shuffle::ShuffleStage;
+use crate::task::TaskContext;
+use std::sync::Arc;
+use yafim_cluster::{
+    slice_bytes, EventKind, NodeId, SimDuration, TaskSpec, WorkCounters,
+};
+
+/// A task body: partition index + task context → per-partition result.
+pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &mut TaskContext) -> R + Send + Sync>;
+
+/// Run one stage: `task` once per partition, real execution on the pool,
+/// virtual time charged to the cluster clock. Returns per-partition results
+/// in partition order.
+pub(crate) fn run_stage<R: Send + 'static>(
+    ctx: &Context,
+    label: String,
+    partitions: usize,
+    preferred: Vec<Option<NodeId>>,
+    task: TaskFn<R>,
+) -> Vec<R> {
+    assert_eq!(preferred.len(), partitions);
+    let cluster = ctx.cluster().clone();
+    let spec = cluster.spec().clone();
+
+    let preferred_for_tasks = preferred.clone();
+    let outcomes: Vec<(R, WorkCounters)> = cluster.pool().map(
+        (0..partitions).collect::<Vec<usize>>(),
+        move |_, part| {
+            let node = preferred_for_tasks[part].unwrap_or_else(|| spec.home_node(part));
+            let mut tc = TaskContext::new(part, node);
+            let r = task(part, &mut tc);
+            (r, tc.into_work())
+        },
+    );
+
+    let cost = cluster.cost();
+    let mut merged = WorkCounters::new();
+    let specs: Vec<TaskSpec> = outcomes
+        .iter()
+        .zip(&preferred)
+        .map(|((_, work), pref)| {
+            merged.merge(work);
+            TaskSpec {
+                duration: SimDuration::from_secs(cost.spark_task_overhead) + work.data_time(cost),
+                preferred_node: *pref,
+            }
+        })
+        .collect();
+
+    let outcome = cluster.scheduler().schedule(&specs);
+    let stage_time = SimDuration::from_secs(cost.spark_stage_overhead) + outcome.makespan;
+    let metrics = cluster.metrics();
+    metrics.advance_with_event(stage_time, EventKind::Stage, label);
+    metrics.count_stage();
+    metrics.count_tasks(partitions as u64, &merged);
+
+    outcomes.into_iter().map(|(r, _)| r).collect()
+}
+
+/// Prepare (run) every shuffle stage the lineage of `imp` depends on.
+fn prepare_shuffles<T: Data>(imp: &Arc<dyn RddImpl<T>>) {
+    let mut deps: Vec<Arc<dyn ShuffleStage>> = Vec::new();
+    imp.collect_shuffle_deps(&mut deps);
+    // The same shuffle can appear twice in one lineage (e.g. a union of two
+    // branches over the same reduced RDD); prepare it once.
+    let mut seen = std::collections::HashSet::new();
+    for d in deps {
+        if seen.insert(d.shuffle_id()) {
+            d.prepare();
+        }
+    }
+}
+
+/// Run the final stage of a job, materializing each partition of `rdd`.
+fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Vec<Arc<Vec<T>>> {
+    let imp = Arc::clone(&rdd.imp);
+    let partitions = imp.num_partitions();
+    let preferred: Vec<Option<NodeId>> = (0..partitions)
+        .map(|p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
+        .collect();
+    run_stage(
+        &rdd.ctx,
+        label,
+        partitions,
+        preferred,
+        Arc::new(move |part, tc| materialize(&imp, part, tc)),
+    )
+}
+
+/// The `collect` action.
+pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
+    let ctx = &rdd.ctx;
+    let metrics = ctx.metrics().clone();
+    let start = metrics.now();
+    metrics.advance(SimDuration::from_secs(ctx.cluster().cost().spark_job_overhead));
+
+    prepare_shuffles(&rdd.imp);
+    let parts = run_final_stage(rdd, format!("collect rdd{}", rdd.id()));
+
+    // Results are serialized on the workers and fetched to the driver.
+    let result_bytes: u64 = parts.iter().map(|p| slice_bytes(p)).sum();
+    let cost = ctx.cluster().cost();
+    metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
+
+    metrics.record_span(EventKind::Job, format!("collect rdd{}", rdd.id()), start);
+    metrics.count_job();
+
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p.iter().cloned());
+    }
+    out
+}
+
+/// The `count` action: computes every partition but only its length crosses
+/// the network.
+pub(crate) fn count<T: Data>(rdd: &Rdd<T>) -> u64 {
+    let ctx = &rdd.ctx;
+    let metrics = ctx.metrics().clone();
+    let start = metrics.now();
+    metrics.advance(SimDuration::from_secs(ctx.cluster().cost().spark_job_overhead));
+
+    prepare_shuffles(&rdd.imp);
+    let parts = run_final_stage(rdd, format!("count rdd{}", rdd.id()));
+
+    metrics.record_span(EventKind::Job, format!("count rdd{}", rdd.id()), start);
+    metrics.count_job();
+
+    parts.iter().map(|p| p.len() as u64).sum()
+}
+
+/// Fault injection helpers, exposed on [`Context`] via an extension trait so
+/// tests and the fault-tolerance example can knock pieces out mid-run.
+pub trait FaultInjection {
+    /// Drop one cached partition, as if its executor was lost. Returns
+    /// whether anything was dropped. The next read recomputes via lineage.
+    fn drop_cached_partition(&self, rdd_id: u64, partition: usize) -> bool;
+
+    /// Drop a materialized shuffle output. The next action that reads it
+    /// re-runs the map stage. Returns whether anything was dropped.
+    fn drop_shuffle(&self, shuffle_id: u64) -> bool;
+
+    /// Number of currently materialized shuffles (observability for tests).
+    fn materialized_shuffles(&self) -> usize;
+}
+
+impl FaultInjection for Context {
+    fn drop_cached_partition(&self, rdd_id: u64, partition: usize) -> bool {
+        self.cache().evict(rdd_id, partition)
+    }
+
+    fn drop_shuffle(&self, shuffle_id: u64) -> bool {
+        self.shuffles().invalidate(shuffle_id)
+    }
+
+    fn materialized_shuffles(&self) -> usize {
+        self.shuffles().len()
+    }
+}

@@ -1,0 +1,523 @@
+//! The typed RDD and its narrow operators.
+//!
+//! An [`Rdd<T>`] is a handle to an immutable, partitioned, lazily-computed
+//! dataset. Transformations build a lineage graph of operator nodes; actions
+//! ([`Rdd::collect`], [`Rdd::count`]) hand the graph to the executor in
+//! [`crate::exec`], which first materializes any shuffle dependencies
+//! (stages) and then computes the final stage.
+//!
+//! Lineage is also the fault-tolerance story, exactly as in the paper's
+//! description of Spark: a lost cached partition is simply recomputed from
+//! its parents.
+
+use crate::cache::{CacheTier, StorageLevel};
+use crate::context::Context;
+use crate::exec;
+use crate::shuffle::{ReduceByKeyRdd, ShuffleStage};
+use crate::task::TaskContext;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use yafim_cluster::{slice_bytes, ByteSize, DfsFile, NodeId, Split};
+
+// Persistence state encoding for `RddMeta::persist_level`.
+const PERSIST_NONE: u8 = 0;
+const PERSIST_MEMORY: u8 = 1;
+const PERSIST_MEMORY_AND_DISK: u8 = 2;
+
+/// Marker bound for RDD element types: cheap to clone, shareable across the
+/// worker pool, and byte-sizeable for shuffle/cache accounting.
+pub trait Data: Clone + Send + Sync + ByteSize + 'static {}
+impl<T: Clone + Send + Sync + ByteSize + 'static> Data for T {}
+
+/// Identity and bookkeeping shared by every operator node.
+pub(crate) struct RddMeta {
+    pub(crate) id: u64,
+    pub(crate) ctx: Context,
+    persist_level: AtomicU8,
+}
+
+impl RddMeta {
+    pub(crate) fn new(ctx: &Context) -> Self {
+        RddMeta {
+            id: ctx.new_id(),
+            ctx: ctx.clone(),
+            persist_level: AtomicU8::new(PERSIST_NONE),
+        }
+    }
+
+    fn level(&self) -> Option<StorageLevel> {
+        match self.persist_level.load(Ordering::Relaxed) {
+            PERSIST_MEMORY => Some(StorageLevel::MemoryOnly),
+            PERSIST_MEMORY_AND_DISK => Some(StorageLevel::MemoryAndDisk),
+            _ => None,
+        }
+    }
+
+    fn set_level(&self, level: Option<StorageLevel>) {
+        let v = match level {
+            None => PERSIST_NONE,
+            Some(StorageLevel::MemoryOnly) => PERSIST_MEMORY,
+            Some(StorageLevel::MemoryAndDisk) => PERSIST_MEMORY_AND_DISK,
+        };
+        self.persist_level.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Internal operator-node interface. One implementation per operator.
+pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
+    /// Identity/bookkeeping.
+    fn meta(&self) -> &RddMeta;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Locality preference for a partition, if any.
+    fn preferred_node(&self, part: usize) -> Option<NodeId>;
+    /// Compute one partition from scratch (never consults the cache — that
+    /// is [`materialize`]'s job).
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T>;
+    /// Append the shuffle stages this lineage depends on (nearest only; each
+    /// stage pulls in its own ancestors when prepared).
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>);
+}
+
+/// The node a partition's task runs on: its locality preference, or its
+/// round-robin home.
+pub(crate) fn node_for<T: Data>(imp: &Arc<dyn RddImpl<T>>, part: usize) -> NodeId {
+    imp.preferred_node(part)
+        .unwrap_or_else(|| imp.meta().ctx.cluster().spec().home_node(part))
+}
+
+/// Produce a partition's data, going through the cache when the RDD is
+/// marked cached: hit → charge a memory scan; miss → compute via lineage and
+/// store on the partition's home node (possibly evicting LRU entries).
+pub(crate) fn materialize<T: Data>(
+    imp: &Arc<dyn RddImpl<T>>,
+    part: usize,
+    tc: &mut TaskContext,
+) -> Arc<Vec<T>> {
+    let meta = imp.meta();
+    let Some(level) = meta.level() else {
+        return Arc::new(imp.compute(part, tc));
+    };
+    if let Some((data, bytes, tier)) = meta.ctx.cache().get::<T>(meta.id, part) {
+        match tier {
+            CacheTier::Memory => tc.add_mem_read(bytes),
+            CacheTier::Disk => tc.add_disk_read(bytes),
+        }
+        return data;
+    }
+    let data = Arc::new(imp.compute(part, tc));
+    let bytes = 8 + slice_bytes(&data);
+    let node = node_for(imp, part).index();
+    meta.ctx
+        .cache()
+        .put(meta.id, part, node, Arc::clone(&data), bytes, level);
+    data
+}
+
+/// A resilient distributed dataset: the public handle. Cheap to clone.
+pub struct Rdd<T: Data> {
+    pub(crate) ctx: Context,
+    pub(crate) imp: Arc<dyn RddImpl<T>>,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            ctx: self.ctx.clone(),
+            imp: Arc::clone(&self.imp),
+        }
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    pub(crate) fn from_impl(ctx: Context, imp: Arc<dyn RddImpl<T>>) -> Self {
+        Rdd { ctx, imp }
+    }
+
+    /// Unique id of this RDD in its context (used by fault injection).
+    pub fn id(&self) -> u64 {
+        self.imp.meta().id
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.imp.num_partitions()
+    }
+
+    /// The driver context this RDD belongs to.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Mark this RDD for in-memory caching: the first materialization of
+    /// each partition stores it on the partition's home node; later reads
+    /// hit memory instead of recomputing the lineage. Equivalent to
+    /// `persist(StorageLevel::MemoryOnly)` (Spark's default, what the paper
+    /// uses for the transactions RDD).
+    pub fn cache(&self) -> Rdd<T> {
+        self.persist(StorageLevel::MemoryOnly)
+    }
+
+    /// Mark this RDD for persistence at an explicit [`StorageLevel`].
+    pub fn persist(&self, level: StorageLevel) -> Rdd<T> {
+        self.imp.meta().set_level(Some(level));
+        self.clone()
+    }
+
+    /// Drop cached partitions (both tiers) and stop caching.
+    pub fn unpersist(&self) {
+        self.imp.meta().set_level(None);
+        self.ctx.cache().evict_rdd(self.id());
+    }
+
+    /// Transform every element.
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        let imp = Arc::new(MapRdd {
+            meta: RddMeta::new(&self.ctx),
+            parent: Arc::clone(&self.imp),
+            f: Arc::new(f),
+        });
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+
+    /// Transform every element into zero or more elements.
+    pub fn flat_map<U: Data, I>(&self, f: impl Fn(T) -> I + Send + Sync + 'static) -> Rdd<U>
+    where
+        I: IntoIterator<Item = U>,
+    {
+        let g = move |t: T| f(t).into_iter().collect::<Vec<U>>();
+        let imp = Arc::new(FlatMapRdd {
+            meta: RddMeta::new(&self.ctx),
+            parent: Arc::clone(&self.imp),
+            f: Arc::new(g),
+        });
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+
+    /// Keep only elements satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        let imp = Arc::new(FilterRdd {
+            meta: RddMeta::new(&self.ctx),
+            parent: Arc::clone(&self.imp),
+            f: Arc::new(f),
+        });
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+
+    /// Transform a whole partition at once, with access to the
+    /// [`TaskContext`] for custom CPU-work accounting (YAFIM uses this for
+    /// hash-tree traversal counting).
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(&[T], &mut TaskContext) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let imp = Arc::new(MapPartitionsRdd {
+            meta: RddMeta::new(&self.ctx),
+            parent: Arc::clone(&self.imp),
+            f: Arc::new(f),
+        });
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+
+    /// Concatenate two RDDs (partitions of `self` first).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let imp = Arc::new(UnionRdd {
+            meta: RddMeta::new(&self.ctx),
+            parents: vec![Arc::clone(&self.imp), Arc::clone(&other.imp)],
+        });
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+
+    /// Action: gather every element to the driver, in partition order.
+    pub fn collect(&self) -> Vec<T> {
+        exec::collect(self)
+    }
+
+    /// Action: number of elements.
+    pub fn count(&self) -> u64 {
+        exec::count(self)
+    }
+
+    /// Action: the first `n` elements in partition order. (Computes all
+    /// partitions; the paper's workloads never rely on Spark's incremental
+    /// `take` optimization.)
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let mut v = self.collect();
+        v.truncate(n);
+        v
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    /// Shuffle: combine values per key with `f`, map-side combining first.
+    /// Output has as many partitions as the parent.
+    pub fn reduce_by_key(&self, f: impl Fn(V, V) -> V + Send + Sync + 'static) -> Rdd<(K, V)> {
+        self.reduce_by_key_with_partitions(f, self.num_partitions())
+    }
+
+    /// [`Rdd::reduce_by_key`] with an explicit reduce-partition count.
+    pub fn reduce_by_key_with_partitions(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+        partitions: usize,
+    ) -> Rdd<(K, V)> {
+        let imp = ReduceByKeyRdd::new(
+            &self.ctx,
+            Arc::clone(&self.imp),
+            Arc::new(f),
+            partitions.max(1),
+        );
+        Rdd::from_impl(self.ctx.clone(), imp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator nodes
+// ---------------------------------------------------------------------------
+
+/// Source: an in-memory collection pre-chunked on the driver.
+pub(crate) struct ParallelizeRdd<T: Data> {
+    pub(crate) meta: RddMeta,
+    pub(crate) chunks: Arc<Vec<Vec<T>>>,
+}
+
+impl<T: Data> RddImpl<T> for ParallelizeRdd<T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn preferred_node(&self, _part: usize) -> Option<NodeId> {
+        None
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let chunk = &self.chunks[part];
+        // The driver ships the chunk to the worker on first compute.
+        tc.add_net(slice_bytes(chunk));
+        tc.add_records_out(chunk.len() as u64);
+        chunk.clone()
+    }
+
+    fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
+}
+
+/// Source: a text file in simulated HDFS, one element per line.
+pub(crate) struct HdfsTextRdd {
+    pub(crate) meta: RddMeta,
+    pub(crate) file: DfsFile,
+    pub(crate) splits: Vec<Split>,
+}
+
+impl RddImpl<String> for HdfsTextRdd {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        Some(self.splits[part].preferred_node)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<String> {
+        let split = &self.splits[part];
+        if split.preferred_node == tc.node {
+            tc.add_disk_read(split.bytes);
+        } else {
+            // Non-local read: the bytes cross the network from a replica.
+            tc.add_net(split.bytes);
+        }
+        let lines = &self.file.lines()[split.lines.clone()];
+        tc.add_records_out(lines.len() as u64);
+        lines.to_vec()
+    }
+
+    fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
+}
+
+pub(crate) struct MapRdd<P: Data, T: Data> {
+    meta: RddMeta,
+    parent: Arc<dyn RddImpl<P>>,
+    f: Arc<dyn Fn(P) -> T + Send + Sync>,
+}
+
+impl<P: Data, T: Data> RddImpl<T> for MapRdd<P, T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        self.parent.preferred_node(part)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let input = materialize(&self.parent, part, tc);
+        tc.add_records_in(input.len() as u64);
+        let out: Vec<T> = input.iter().cloned().map(|p| (self.f)(p)).collect();
+        tc.add_records_out(out.len() as u64);
+        out
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        self.parent.collect_shuffle_deps(out);
+    }
+}
+
+pub(crate) struct FlatMapRdd<P: Data, T: Data> {
+    meta: RddMeta,
+    parent: Arc<dyn RddImpl<P>>,
+    f: Arc<dyn Fn(P) -> Vec<T> + Send + Sync>,
+}
+
+impl<P: Data, T: Data> RddImpl<T> for FlatMapRdd<P, T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        self.parent.preferred_node(part)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let input = materialize(&self.parent, part, tc);
+        tc.add_records_in(input.len() as u64);
+        let out: Vec<T> = input.iter().cloned().flat_map(|p| (self.f)(p)).collect();
+        tc.add_records_out(out.len() as u64);
+        out
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        self.parent.collect_shuffle_deps(out);
+    }
+}
+
+pub(crate) struct FilterRdd<T: Data> {
+    meta: RddMeta,
+    parent: Arc<dyn RddImpl<T>>,
+    f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+}
+
+impl<T: Data> RddImpl<T> for FilterRdd<T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        self.parent.preferred_node(part)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let input = materialize(&self.parent, part, tc);
+        tc.add_records_in(input.len() as u64);
+        let out: Vec<T> = input.iter().filter(|t| (self.f)(t)).cloned().collect();
+        tc.add_records_out(out.len() as u64);
+        out
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        self.parent.collect_shuffle_deps(out);
+    }
+}
+
+pub(crate) struct MapPartitionsRdd<P: Data, T: Data> {
+    meta: RddMeta,
+    parent: Arc<dyn RddImpl<P>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&[P], &mut TaskContext) -> Vec<T> + Send + Sync>,
+}
+
+impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        self.parent.preferred_node(part)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let input = materialize(&self.parent, part, tc);
+        tc.add_records_in(input.len() as u64);
+        let out = (self.f)(&input, tc);
+        tc.add_records_out(out.len() as u64);
+        out
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        self.parent.collect_shuffle_deps(out);
+    }
+}
+
+pub(crate) struct UnionRdd<T: Data> {
+    meta: RddMeta,
+    parents: Vec<Arc<dyn RddImpl<T>>>,
+}
+
+impl<T: Data> UnionRdd<T> {
+    /// Map a union partition index to `(parent, parent-local partition)`.
+    fn locate(&self, part: usize) -> (&Arc<dyn RddImpl<T>>, usize) {
+        let mut p = part;
+        for parent in &self.parents {
+            if p < parent.num_partitions() {
+                return (parent, p);
+            }
+            p -= parent.num_partitions();
+        }
+        panic!("union partition {part} out of range");
+    }
+}
+
+impl<T: Data> RddImpl<T> for UnionRdd<T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        let (parent, local) = self.locate(part);
+        parent.preferred_node(local)
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+        let (parent, local) = self.locate(part);
+        let input = materialize(parent, local, tc);
+        tc.add_records_in(input.len() as u64);
+        input.as_ref().clone()
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        for p in &self.parents {
+            p.collect_shuffle_deps(out);
+        }
+    }
+}

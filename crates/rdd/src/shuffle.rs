@@ -1,0 +1,294 @@
+//! Shuffle machinery: `reduceByKey` and the registry of materialized map
+//! outputs.
+//!
+//! A [`ReduceByKeyRdd`] is both an RDD (its partitions are the reduce side)
+//! and a [`ShuffleStage`] (the map side that must run first). The executor
+//! collects the shuffle stages in a lineage, prepares them bottom-up, and
+//! only then computes the consuming stage — exactly Spark's DAG scheduler
+//! split at shuffle boundaries.
+//!
+//! The shuffle carries *real* data: map tasks hash-partition their map-side
+//! combined output into buckets held in the [`ShuffleRegistry`]; reduce tasks
+//! merge the buckets. Virtual costs: map side pays serialization plus a local
+//! shuffle-file write; reduce side pays fetch (1/nodes local disk, the rest
+//! network), deserialization, and the merge CPU.
+
+use crate::context::Context;
+use crate::exec;
+use crate::rdd::{materialize, Data, RddImpl, RddMeta};
+use crate::task::TaskContext;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::hash::Hash;
+use std::sync::{Arc, Weak};
+use yafim_cluster::{bucket_of, slice_bytes, FxHashMap, NodeId};
+
+/// A shuffle's map side, to be run before any stage that reads it.
+pub(crate) trait ShuffleStage: Send + Sync {
+    /// Shuffle id (equals the owning RDD's id).
+    fn shuffle_id(&self) -> u64;
+    /// Run ancestor shuffles, then this shuffle's map stage, unless already
+    /// materialized.
+    fn prepare(&self);
+}
+
+/// Materialized map output of one shuffle.
+pub(crate) struct Materialized<K, V> {
+    /// One bucket per reduce partition, in deterministic (map-task, key)
+    /// order.
+    pub buckets: Vec<Vec<(K, V)>>,
+    /// Serialized byte estimate per bucket.
+    pub bucket_bytes: Vec<u64>,
+}
+
+/// Registry of materialized shuffles, keyed by shuffle id.
+pub(crate) struct ShuffleRegistry {
+    inner: Mutex<FxHashMap<u64, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ShuffleRegistry {
+    pub(crate) fn new() -> Self {
+        ShuffleRegistry {
+            inner: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    pub(crate) fn has(&self, id: u64) -> bool {
+        self.inner.lock().contains_key(&id)
+    }
+
+    pub(crate) fn get<K, V>(&self, id: u64) -> Option<Arc<Materialized<K, V>>>
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.inner.lock().get(&id).map(|a| {
+            Arc::clone(a)
+                .downcast::<Materialized<K, V>>()
+                .expect("shuffle type mismatch")
+        })
+    }
+
+    pub(crate) fn insert<K, V>(&self, id: u64, mat: Materialized<K, V>)
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.inner.lock().insert(id, Arc::new(mat));
+    }
+
+    /// Drop a materialized shuffle (fault injection): the next action that
+    /// needs it re-runs the map stage through the lineage.
+    pub(crate) fn invalidate(&self, id: u64) -> bool {
+        self.inner.lock().remove(&id).is_some()
+    }
+
+    /// Number of materialized shuffles.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+/// The `reduceByKey` operator node.
+pub(crate) struct ReduceByKeyRdd<K, V>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    meta: RddMeta,
+    parent: Arc<dyn RddImpl<(K, V)>>,
+    reducer: Arc<dyn Fn(V, V) -> V + Send + Sync>,
+    partitions: usize,
+    weak_self: Weak<Self>,
+}
+
+impl<K, V> ReduceByKeyRdd<K, V>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    pub(crate) fn new(
+        ctx: &Context,
+        parent: Arc<dyn RddImpl<(K, V)>>,
+        reducer: Arc<dyn Fn(V, V) -> V + Send + Sync>,
+        partitions: usize,
+    ) -> Arc<Self> {
+        Arc::new_cyclic(|weak| ReduceByKeyRdd {
+            meta: RddMeta::new(ctx),
+            parent,
+            reducer,
+            partitions,
+            weak_self: weak.clone(),
+        })
+    }
+
+    fn ctx(&self) -> &Context {
+        &self.meta.ctx
+    }
+
+    /// Run the map side: map-side combine each parent partition, hash-
+    /// partition into buckets, register the concatenated buckets.
+    fn run_map_stage(&self) {
+        let ctx = self.ctx().clone();
+        let parent = Arc::clone(&self.parent);
+        let reducer = Arc::clone(&self.reducer);
+        let out_parts = self.partitions;
+        let map_parts = parent.num_partitions();
+        let preferred: Vec<Option<NodeId>> =
+            (0..map_parts).map(|p| parent.preferred_node(p)).collect();
+
+        type MapOut<K, V> = Vec<Vec<(K, V)>>;
+        let results: Vec<MapOut<K, V>> = exec::run_stage(
+            &ctx,
+            format!("shuffle {} map", self.meta.id),
+            map_parts,
+            preferred,
+            Arc::new(move |part: usize, tc: &mut TaskContext| {
+                let input = materialize(&parent, part, tc);
+                tc.add_records_in(input.len() as u64);
+
+                // Map-side combine (Spark's aggregator): deterministic
+                // because input order and the Fx hasher are deterministic.
+                let mut combined: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in input.iter() {
+                    match combined.remove(k) {
+                        Some(prev) => {
+                            combined.insert(k.clone(), reducer(prev, v.clone()));
+                        }
+                        None => {
+                            combined.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+
+                let mut buckets: MapOut<K, V> = (0..out_parts).map(|_| Vec::new()).collect();
+                for (k, v) in combined {
+                    buckets[bucket_of(&k, out_parts)].push((k, v));
+                }
+                // Deterministic bucket contents regardless of hash-map
+                // iteration details would require an order; the Fx map with
+                // deterministic insertion already iterates deterministically,
+                // but sorting by insertion is not available — so the engine
+                // sorts by key hash to pin the order down completely.
+                for b in &mut buckets {
+                    b.sort_by_key(|(k, _)| yafim_cluster::fx_hash64(k));
+                }
+
+                let mut total_records = 0u64;
+                let mut total_bytes = 0u64;
+                for b in &buckets {
+                    total_records += b.len() as u64;
+                    total_bytes += slice_bytes(b);
+                }
+                tc.add_records_out(total_records);
+                tc.add_ser(total_bytes);
+                tc.add_disk_write(total_bytes); // shuffle file write
+
+                buckets
+            }),
+        );
+
+        // Concatenate per-reduce-partition buckets in map-task order.
+        let mut buckets: Vec<Vec<(K, V)>> = (0..out_parts).map(|_| Vec::new()).collect();
+        for map_out in results {
+            for (i, b) in map_out.into_iter().enumerate() {
+                buckets[i].extend(b);
+            }
+        }
+        let bucket_bytes = buckets.iter().map(|b| slice_bytes(b)).collect();
+        self.ctx().shuffles().insert(
+            self.meta.id,
+            Materialized {
+                buckets,
+                bucket_bytes,
+            },
+        );
+    }
+}
+
+impl<K, V> ShuffleStage for ReduceByKeyRdd<K, V>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    fn shuffle_id(&self) -> u64 {
+        self.meta.id
+    }
+
+    fn prepare(&self) {
+        if self.ctx().shuffles().has(self.meta.id) {
+            return;
+        }
+        // Ancestors first (deduplicated by the registry check above).
+        let mut deps: Vec<Arc<dyn ShuffleStage>> = Vec::new();
+        self.parent.collect_shuffle_deps(&mut deps);
+        for d in deps {
+            d.prepare();
+        }
+        self.run_map_stage();
+    }
+}
+
+impl<K, V> RddImpl<(K, V)> for ReduceByKeyRdd<K, V>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn preferred_node(&self, _part: usize) -> Option<NodeId> {
+        None
+    }
+
+    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<(K, V)> {
+        let mat = self
+            .ctx()
+            .shuffles()
+            .get::<K, V>(self.meta.id)
+            .expect("shuffle map stage must run before reduce tasks");
+
+        // Fetch cost: with map outputs spread evenly over the cluster,
+        // 1/nodes of the bytes are node-local shuffle files, the rest
+        // crosses the network. Everything is deserialized.
+        let bytes = mat.bucket_bytes[part];
+        let nodes = self.ctx().cluster().spec().nodes as u64;
+        let local = bytes / nodes.max(1);
+        tc.add_disk_read(local);
+        tc.add_net(bytes - local);
+        tc.add_ser(bytes);
+
+        let bucket = &mat.buckets[part];
+        tc.add_records_in(bucket.len() as u64);
+
+        let mut agg: FxHashMap<K, V> = FxHashMap::default();
+        for (k, v) in bucket.iter() {
+            match agg.remove(k) {
+                Some(prev) => {
+                    agg.insert(k.clone(), (self.reducer)(prev, v.clone()));
+                }
+                None => {
+                    agg.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        let mut out: Vec<(K, V)> = agg.into_iter().collect();
+        // Pin down output order for run-to-run determinism.
+        out.sort_by_key(|(k, _)| yafim_cluster::fx_hash64(k));
+        tc.add_records_out(out.len() as u64);
+        out
+    }
+
+    fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
+        let me = self
+            .weak_self
+            .upgrade()
+            .expect("RDD alive while collecting deps");
+        out.push(me as Arc<dyn ShuffleStage>);
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-task execution context.
+
+use yafim_cluster::{NodeId, WorkCounters};
+
+/// Handed to every task closure. Carries the task's identity and the work
+//  counters that drive virtual-time accounting.
+pub struct TaskContext {
+    /// Partition index this task computes.
+    pub partition: usize,
+    /// Virtual node the task runs on (locality decision made by the driver).
+    pub node: NodeId,
+    work: WorkCounters,
+}
+
+impl TaskContext {
+    /// New context for `partition` running on `node`.
+    pub fn new(partition: usize, node: NodeId) -> Self {
+        TaskContext {
+            partition,
+            node,
+            work: WorkCounters::new(),
+        }
+    }
+
+    /// Record `n` records flowing into an operator.
+    pub fn add_records_in(&mut self, n: u64) {
+        self.work.add_records_in(n);
+    }
+
+    /// Record `n` records produced by an operator.
+    pub fn add_records_out(&mut self, n: u64) {
+        self.work.add_records_out(n);
+    }
+
+    /// Record extra CPU work units (hash-tree visits, comparisons…).
+    pub fn add_cpu(&mut self, units: u64) {
+        self.work.add_cpu(units);
+    }
+
+    /// Record a node-local disk read.
+    pub fn add_disk_read(&mut self, bytes: u64) {
+        self.work.add_disk_read(bytes);
+    }
+
+    /// Record a node-local disk write.
+    pub fn add_disk_write(&mut self, bytes: u64) {
+        self.work.add_disk_write(bytes);
+    }
+
+    /// Record a scan of cached in-memory data.
+    pub fn add_mem_read(&mut self, bytes: u64) {
+        self.work.add_mem_read(bytes);
+    }
+
+    /// Record a network fetch.
+    pub fn add_net(&mut self, bytes: u64) {
+        self.work.add_net(bytes);
+    }
+
+    /// Record bytes crossing a serialization boundary.
+    pub fn add_ser(&mut self, bytes: u64) {
+        self.work.add_ser(bytes);
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn work(&self) -> &WorkCounters {
+        &self.work
+    }
+
+    /// Consume the context, yielding the final counters.
+    pub fn into_work(self) -> WorkCounters {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut tc = TaskContext::new(3, NodeId(1));
+        tc.add_records_in(2);
+        tc.add_cpu(10);
+        tc.add_mem_read(100);
+        assert_eq!(tc.partition, 3);
+        assert_eq!(tc.work().records_in, 2);
+        assert_eq!(tc.work().cpu_units, 12);
+        let w = tc.into_work();
+        assert_eq!(w.mem_read_bytes, 100);
+    }
+}

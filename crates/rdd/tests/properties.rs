@@ -1,0 +1,170 @@
+//! Property-based tests over the RDD engine: operator semantics must match
+//! their `Vec` equivalents regardless of data, partitioning, caching, or
+//! injected faults — and virtual time must always move forward.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_rdd::{Context, FaultInjection};
+
+fn ctx() -> Context {
+    Context::new(SimCluster::with_threads(
+        ClusterSpec::new(3, 2, 1 << 30),
+        CostModel::hadoop_era(),
+        2,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collect_is_identity(data in vec(any::<u32>(), 0..200), parts in 1usize..16) {
+        let c = ctx();
+        let rdd = c.parallelize_with_partitions(data.clone(), parts);
+        prop_assert_eq!(rdd.collect(), data);
+    }
+
+    #[test]
+    fn map_matches_vec_map(data in vec(any::<u32>(), 0..200), parts in 1usize..16) {
+        let c = ctx();
+        let out = c
+            .parallelize_with_partitions(data.clone(), parts)
+            .map(|x| x.wrapping_mul(3).wrapping_add(1))
+            .collect();
+        let expected: Vec<u32> =
+            data.iter().map(|x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_matches_vec_filter(data in vec(0u32..100, 0..200), parts in 1usize..16) {
+        let c = ctx();
+        let out = c
+            .parallelize_with_partitions(data.clone(), parts)
+            .filter(|x| x % 3 == 0)
+            .collect();
+        let expected: Vec<u32> = data.into_iter().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn flat_map_matches_vec(data in vec(0u32..8, 0..100), parts in 1usize..8) {
+        let c = ctx();
+        let out = c
+            .parallelize_with_partitions(data.clone(), parts)
+            .flat_map(|x| (0..x).collect::<Vec<u32>>())
+            .collect();
+        let expected: Vec<u32> = data.into_iter().flat_map(|x| 0..x).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn count_equals_len(data in vec(any::<u64>(), 0..300), parts in 1usize..20) {
+        let c = ctx();
+        prop_assert_eq!(
+            c.parallelize_with_partitions(data.clone(), parts).count(),
+            data.len() as u64
+        );
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap(
+        pairs in vec((0u32..10, 1u64..100), 0..200),
+        parts in 1usize..12,
+        reduce_parts in 1usize..8,
+    ) {
+        let c = ctx();
+        let out = c
+            .parallelize_with_partitions(pairs.clone(), parts)
+            .reduce_by_key_with_partitions(|a, b| a + b, reduce_parts)
+            .collect();
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for (k, v) in pairs {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        prop_assert_eq!(out.len(), expected.len());
+        for (k, v) in out {
+            prop_assert_eq!(expected.get(&k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn partitioning_never_changes_reduce_results(
+        pairs in vec((0u32..6, 1u64..10), 1..100),
+        parts_a in 1usize..10,
+        parts_b in 1usize..10,
+    ) {
+        let run = |parts: usize| {
+            let c = ctx();
+            let mut out = c
+                .parallelize_with_partitions(pairs.clone(), parts)
+                .reduce_by_key(|a, b| a + b)
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(run(parts_a), run(parts_b));
+    }
+
+    #[test]
+    fn caching_is_transparent(data in vec(any::<u32>(), 1..150), parts in 1usize..10) {
+        let c = ctx();
+        let plain = c
+            .parallelize_with_partitions(data.clone(), parts)
+            .map(|x| x ^ 0xdead_beef)
+            .collect();
+        let cached_rdd = c
+            .parallelize_with_partitions(data, parts)
+            .map(|x| x ^ 0xdead_beef)
+            .cache();
+        let first = cached_rdd.collect();
+        let second = cached_rdd.collect();
+        prop_assert_eq!(&first, &plain);
+        prop_assert_eq!(&second, &plain);
+    }
+
+    #[test]
+    fn fault_injection_is_transparent(
+        data in vec(0u32..50, 1..150),
+        parts in 2usize..10,
+        victim in 0usize..10,
+    ) {
+        let c = ctx();
+        let rdd = c
+            .parallelize_with_partitions(data, parts)
+            .map(|x| (x % 5, 1u64))
+            .cache();
+        let reduced = rdd.reduce_by_key(|a, b| a + b);
+        let healthy = reduced.collect();
+
+        c.drop_cached_partition(rdd.id(), victim % parts);
+        c.drop_shuffle(reduced.id());
+        let recovered = reduced.collect();
+        prop_assert_eq!(healthy, recovered);
+    }
+
+    #[test]
+    fn actions_always_advance_the_clock(data in vec(any::<u32>(), 0..50)) {
+        let c = ctx();
+        let before = c.metrics().now();
+        c.parallelize(data).count();
+        prop_assert!(c.metrics().now() > before);
+    }
+
+    #[test]
+    fn union_is_concatenation(
+        a in vec(any::<u32>(), 0..80),
+        b in vec(any::<u32>(), 0..80),
+        pa in 1usize..6,
+        pb in 1usize..6,
+    ) {
+        let c = ctx();
+        let ra = c.parallelize_with_partitions(a.clone(), pa);
+        let rb = c.parallelize_with_partitions(b.clone(), pb);
+        let mut expected = a;
+        expected.extend(b);
+        prop_assert_eq!(ra.union(&rb).collect(), expected);
+    }
+}

@@ -1,0 +1,234 @@
+//! `yafim-cli` — command-line frontend to the whole library.
+//!
+//! ```text
+//! yafim-cli generate --dataset mushroom --out mushroom.dat [--scale 0.5]
+//! yafim-cli mine --input mushroom.dat --support 35% [--miner spark]
+//!           [--nodes 12 --cores 8] [--rules 0.8] [--top 10] [--timeline]
+//! yafim-cli compare --input mushroom.dat --support 35%
+//! ```
+//!
+//! Miners: `sequential` (Apriori), `eclat`, `fpgrowth` (single-node);
+//! `spark` (YAFIM, default), `mapreduce` (MR-Apriori/SPC), `son`, `pfp`
+//! (distributed, on the simulated cluster — virtual timings are reported).
+
+use std::process::exit;
+use yafim::cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim::data::{read_dat, to_lines, PaperDataset};
+use yafim::rdd::Context;
+use yafim::{
+    apriori, eclat, fp_growth, generate_rules, MinerRun, MrApriori, MrAprioriConfig, Pfp,
+    PfpConfig, RuleConfig, SequentialConfig, Son, SonConfig, Support, Yafim, YafimConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
+  yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
+                     [--nodes N] [--cores C] [--rules MIN_CONF] [--top K] [--timeline]
+  yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
+    );
+    exit(2)
+}
+
+/// `--name value` lookup over argv.
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn parse_support(s: &str) -> Support {
+    if let Some(pct) = s.strip_suffix('%') {
+        match pct.parse::<f64>() {
+            Ok(p) if p > 0.0 && p <= 100.0 => Support::percent(p),
+            _ => {
+                eprintln!("bad support percentage: {s}");
+                exit(2)
+            }
+        }
+    } else {
+        match s.parse::<u64>() {
+            Ok(n) if n > 0 => Support::Count(n),
+            _ => {
+                eprintln!("bad support count: {s}");
+                exit(2)
+            }
+        }
+    }
+}
+
+fn parse_dataset(s: &str) -> PaperDataset {
+    match s {
+        "mushroom" => PaperDataset::Mushroom,
+        "t10" | "t10i4d100k" => PaperDataset::T10I4D100K,
+        "chess" => PaperDataset::Chess,
+        "pumsb" | "pumsb_star" => PaperDataset::PumsbStar,
+        "medical" => PaperDataset::Medical,
+        _ => {
+            eprintln!("unknown dataset: {s}");
+            exit(2)
+        }
+    }
+}
+
+fn cluster() -> SimCluster {
+    let nodes: u32 = arg("--nodes").and_then(|s| s.parse().ok()).unwrap_or(12);
+    let cores: u32 = arg("--cores").and_then(|s| s.parse().ok()).unwrap_or(8);
+    SimCluster::new(
+        ClusterSpec::new(nodes.max(1), cores.max(1), 24 * 1024 * 1024 * 1024),
+        CostModel::hadoop_era(),
+    )
+}
+
+fn load_transactions(path: &str) -> Vec<Vec<u32>> {
+    match read_dat(path) {
+        Ok(tx) if !tx.is_empty() => tx,
+        Ok(_) => {
+            eprintln!("{path}: no transactions found");
+            exit(1)
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_generate() {
+    let dataset = parse_dataset(&arg("--dataset").unwrap_or_else(|| usage()));
+    let out = arg("--out").unwrap_or_else(|| usage());
+    let scale: f64 = arg("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let tx = dataset.generate_scaled(scale);
+    if let Err(e) = yafim::data::write_dat(&out, &tx) {
+        eprintln!("{out}: {e}");
+        exit(1);
+    }
+    let s = yafim::data::stats(&tx);
+    println!(
+        "wrote {} transactions ({} distinct items, avg length {:.1}) to {out}",
+        s.transactions, s.distinct_items, s.avg_len
+    );
+}
+
+fn run_distributed(
+    miner: &str,
+    tx: &[Vec<u32>],
+    support: Support,
+) -> (MinerRun, SimCluster) {
+    let c = cluster();
+    c.hdfs().put_overwrite("input.dat", to_lines(tx));
+    let run = match miner {
+        "spark" => Yafim::new(Context::new(c.clone()), YafimConfig::new(support))
+            .mine("input.dat")
+            .expect("input written"),
+        "mapreduce" => MrApriori::new(c.clone(), MrAprioriConfig::new(support))
+            .mine("input.dat")
+            .expect("input written"),
+        "son" => Son::new(c.clone(), SonConfig::new(support))
+            .mine("input.dat")
+            .expect("input written"),
+        "pfp" => Pfp::new(Context::new(c.clone()), PfpConfig::new(support))
+            .mine("input.dat")
+            .expect("input written"),
+        _ => unreachable!("checked by caller"),
+    };
+    (run, c)
+}
+
+fn cmd_mine() {
+    let input = arg("--input").unwrap_or_else(|| usage());
+    let support = parse_support(&arg("--support").unwrap_or_else(|| usage()));
+    let miner = arg("--miner").unwrap_or_else(|| "spark".to_string());
+    let tx = load_transactions(&input);
+
+    let start = std::time::Instant::now();
+    let (result, virtual_secs, cluster) = match miner.as_str() {
+        "sequential" => (apriori(&tx, &SequentialConfig::new(support)), None, None),
+        "eclat" => (eclat(&tx, support), None, None),
+        "fpgrowth" => (fp_growth(&tx, support), None, None),
+        "spark" | "mapreduce" | "son" | "pfp" => {
+            let (run, c) = run_distributed(&miner, &tx, support);
+            (run.result, Some(run.total_seconds), Some(c))
+        }
+        other => {
+            eprintln!("unknown miner: {other}");
+            exit(2)
+        }
+    };
+    let wall = start.elapsed();
+
+    println!(
+        "{miner}: {} frequent itemsets (longest {}), levels {:?}",
+        result.total(),
+        result.max_len(),
+        result.level_sizes()
+    );
+    match virtual_secs {
+        Some(v) => println!("virtual cluster time {v:.2}s (wall {wall:.2?})"),
+        None => println!("wall time {wall:.2?}"),
+    }
+
+    let top: usize = arg("--top").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut by_support: Vec<_> = result.iter().filter(|(s, _)| s.len() >= 2).collect();
+    by_support.sort_by_key(|(_, sup)| std::cmp::Reverse(*sup));
+    if !by_support.is_empty() {
+        println!("\ntop itemsets (length >= 2):");
+        for (set, sup) in by_support.into_iter().take(top) {
+            println!("  {set}  support {sup}");
+        }
+    }
+
+    if let Some(min_conf) = arg("--rules").and_then(|s| s.parse::<f64>().ok()) {
+        let rules = generate_rules(&result, tx.len() as u64, &RuleConfig::new(min_conf));
+        println!("\n{} rules at confidence >= {min_conf}:", rules.len());
+        for rule in rules.iter().take(top) {
+            println!("  {rule}");
+        }
+    }
+
+    if flag("--timeline") {
+        if let Some(c) = cluster {
+            println!("\nvirtual timeline:");
+            print!("{}", c.metrics().render_timeline());
+        } else {
+            eprintln!("--timeline requires a distributed miner");
+        }
+    }
+}
+
+fn cmd_compare() {
+    let input = arg("--input").unwrap_or_else(|| usage());
+    let support = parse_support(&arg("--support").unwrap_or_else(|| usage()));
+    let tx = load_transactions(&input);
+
+    println!("{:<12} {:>12} {:>10}", "miner", "virtual (s)", "itemsets");
+    let mut reference = None;
+    for miner in ["spark", "mapreduce", "son", "pfp"] {
+        let (run, _) = run_distributed(miner, &tx, support);
+        if let Some(r) = &reference {
+            assert_eq!(r, &run.result, "{miner} diverges — please report a bug");
+        }
+        println!(
+            "{:<12} {:>12.2} {:>10}",
+            miner,
+            run.total_seconds,
+            run.result.total()
+        );
+        reference.get_or_insert(run.result);
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("generate") => cmd_generate(),
+        Some("mine") => cmd_mine(),
+        Some("compare") => cmd_compare(),
+        _ => usage(),
+    }
+}
