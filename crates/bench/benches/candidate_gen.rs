@@ -1,8 +1,7 @@
-//! Criterion microbench: `ap_gen` candidate generation (join + prune), the
+//! Microbench: `ap_gen` candidate generation (join + prune), the
 //! driver-side step of every YAFIM pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use yafim_bench::microbench::{bench, black_box, header};
 use yafim_core::{ap_gen, Itemset};
 
 /// All 2-itemsets over `n` items — the worst-case dense L2.
@@ -28,23 +27,18 @@ fn sparse_l3(groups: u32) -> Vec<Itemset> {
     out
 }
 
-fn bench_ap_gen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ap_gen");
-    g.sample_size(20);
+fn main() {
+    header("ap_gen");
     for &n in &[30u32, 60, 120] {
         let l2 = dense_l2(n);
-        g.bench_with_input(BenchmarkId::new("dense_l2", l2.len()), &l2, |b, l2| {
-            b.iter(|| ap_gen(black_box(l2)))
+        bench(&format!("dense_l2/{}", l2.len()), 20, || {
+            ap_gen(black_box(&l2))
         });
     }
     for &groups in &[100u32, 1000] {
         let l3 = sparse_l3(groups);
-        g.bench_with_input(BenchmarkId::new("sparse_l3", l3.len()), &l3, |b, l3| {
-            b.iter(|| ap_gen(black_box(l3)))
+        bench(&format!("sparse_l3/{}", l3.len()), 20, || {
+            ap_gen(black_box(&l3))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ap_gen);
-criterion_main!(benches);

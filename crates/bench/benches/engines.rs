@@ -1,9 +1,8 @@
-//! Criterion microbench: raw engine overheads — one RDD job vs one
-//! MapReduce job over the same small input. Measures the *simulator's* real
-//! cost per job (wall time), complementing the virtual-time figures.
+//! Microbench: raw engine overheads — one RDD job vs one MapReduce job over
+//! the same small input. Measures the *simulator's* real cost per job (wall
+//! time), complementing the virtual-time figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use yafim_bench::microbench::{bench, black_box, header};
 use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
 use yafim_mapreduce::{Emitter, MapReduceJob, MrRunner};
 use yafim_rdd::Context;
@@ -13,36 +12,35 @@ fn small_cluster() -> SimCluster {
 }
 
 fn lines(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("{} {} {}", i % 50, i % 31, i % 17)).collect()
+    (0..n)
+        .map(|i| format!("{} {} {}", i % 50, i % 31, i % 17))
+        .collect()
 }
 
-fn bench_rdd_job(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_wordcount_10k_lines");
-    g.sample_size(10);
+fn main() {
+    header("engine_wordcount_10k_lines");
 
-    g.bench_function("rdd", |b| {
+    {
         let cluster = small_cluster();
         cluster.hdfs().put_overwrite("in.txt", lines(10_000));
         let ctx = Context::new(cluster);
-        b.iter(|| {
+        bench("rdd", 10, || {
             let out = ctx
                 .text_file("in.txt", 16)
                 .expect("exists")
-                .flat_map(|l: String| {
-                    l.split_whitespace().map(str::to_string).collect::<Vec<_>>()
-                })
+                .flat_map(|l: String| l.split_whitespace().map(str::to_string).collect::<Vec<_>>())
                 .map(|w| (w, 1u64))
                 .reduce_by_key(|a, b| a + b)
                 .collect();
             black_box(out.len())
-        })
-    });
+        });
+    }
 
-    g.bench_function("mapreduce", |b| {
+    {
         let cluster = small_cluster();
         cluster.hdfs().put_overwrite("in.txt", lines(10_000));
         let runner = MrRunner::new(cluster);
-        b.iter(|| {
+        bench("mapreduce", 10, || {
             let job = MapReduceJob::new(
                 "wc",
                 "in.txt",
@@ -58,11 +56,6 @@ fn bench_rdd_job(c: &mut Criterion) {
             .with_combiner(|_k: &String, vs: Vec<u64>| vs.into_iter().sum());
             let out = runner.run(job).expect("input exists");
             black_box(out.pairs.len())
-        })
-    });
-
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_rdd_job);
-criterion_main!(benches);

@@ -1,11 +1,9 @@
-//! Criterion microbench: hash-tree construction and subset matching vs the
-//! naive scan — the data-structure half of YAFIM's Phase II.
+//! Microbench: hash-tree construction and subset matching vs the naive
+//! scan — the data-structure half of YAFIM's Phase II.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use yafim_bench::microbench::{bench, black_box, header};
 use yafim_core::{HashTree, Itemset, MatchScratch};
+use yafim_data::rng::StdRng;
 
 fn candidates(n: usize, k: usize, universe: u32, seed: u64) -> Vec<Itemset> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -36,46 +34,33 @@ fn transactions(n: usize, len: usize, universe: u32, seed: u64) -> Vec<Vec<u32>>
         .collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashtree_build");
-    g.sample_size(20);
+fn main() {
+    header("hashtree_build");
     for &n in &[1_000usize, 10_000, 50_000] {
         let cands = candidates(n, 3, 500, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &cands, |b, cands| {
-            b.iter(|| HashTree::build(black_box(cands.clone())))
+        bench(&format!("build/{n}"), 20, || {
+            HashTree::build(black_box(cands.clone()))
         });
     }
-    g.finish();
-}
 
-fn bench_match(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashtree_match_1k_tx");
-    g.sample_size(10);
+    header("hashtree_match_1k_tx");
     let txs = transactions(1_000, 20, 500, 2);
     for &n in &[1_000usize, 10_000] {
         let tree = HashTree::build(candidates(n, 3, 500, 1));
-        g.bench_function(BenchmarkId::new("tree", n), |b| {
-            b.iter(|| {
-                let mut scratch = MatchScratch::default();
-                let mut hits = 0u64;
-                for t in &txs {
-                    tree.for_each_match(t, &mut scratch, |_| hits += 1);
-                }
-                black_box(hits)
-            })
+        bench(&format!("tree/{n}"), 10, || {
+            let mut scratch = MatchScratch::default();
+            let mut hits = 0u64;
+            for t in &txs {
+                tree.for_each_match(t, &mut scratch, |_| hits += 1);
+            }
+            black_box(hits)
         });
-        g.bench_function(BenchmarkId::new("naive", n), |b| {
-            b.iter(|| {
-                let mut hits = 0usize;
-                for t in &txs {
-                    hits += tree.matches_naive(t).len();
-                }
-                black_box(hits)
-            })
+        bench(&format!("naive/{n}"), 10, || {
+            let mut hits = 0usize;
+            for t in &txs {
+                hits += tree.matches_naive(t).len();
+            }
+            black_box(hits)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_build, bench_match);
-criterion_main!(benches);

@@ -1,30 +1,20 @@
-//! Criterion microbench: the single-node miners (sequential Apriori, Eclat,
+//! Microbench: the single-node miners (sequential Apriori, Eclat,
 //! FP-Growth) on a scaled-down MushRoom profile — the classic algorithm
 //! comparison backing the paper's related-work discussion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use yafim_bench::microbench::{bench, black_box, header};
 use yafim_core::{apriori, eclat, fp_growth, SequentialConfig, Support};
 use yafim_data::PaperDataset;
 
-fn bench_miners(c: &mut Criterion) {
+fn main() {
     let tx = PaperDataset::Mushroom.generate_scaled(0.05);
     let support = Support::Fraction(0.35);
 
-    let mut g = c.benchmark_group("miners_mushroom_5pct");
-    g.sample_size(10);
-    g.bench_function("apriori", |b| {
-        let cfg = SequentialConfig::new(support);
-        b.iter(|| black_box(apriori(&tx, &cfg).total()))
+    header("miners_mushroom_5pct");
+    let cfg = SequentialConfig::new(support);
+    bench("apriori", 10, || black_box(apriori(&tx, &cfg).total()));
+    bench("eclat", 10, || black_box(eclat(&tx, support).total()));
+    bench("fp_growth", 10, || {
+        black_box(fp_growth(&tx, support).total())
     });
-    g.bench_function("eclat", |b| {
-        b.iter(|| black_box(eclat(&tx, support).total()))
-    });
-    g.bench_function("fp_growth", |b| {
-        b.iter(|| black_box(fp_growth(&tx, support).total()))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_miners);
-criterion_main!(benches);

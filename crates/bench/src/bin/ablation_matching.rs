@@ -37,7 +37,11 @@ fn main() {
             totals.push(run.total_seconds);
             results.push(run.result);
         }
-        assert_eq!(results[0], results[1], "matchers must agree on {}", data.name);
+        assert_eq!(
+            results[0], results[1],
+            "matchers must agree on {}",
+            data.name
+        );
         println!(
             "{:<12} {:>16.2} {:>16.2} {:>9.2}x",
             data.name,

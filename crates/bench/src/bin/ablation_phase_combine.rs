@@ -30,8 +30,14 @@ fn main() {
     let mut reference = None;
     for (label, variant) in [
         ("SPC (one job per pass)", MrVariant::Spc),
-        ("FPC (2 passes per job)", MrVariant::Fpc { passes_per_job: 2 }),
-        ("FPC (3 passes per job)", MrVariant::Fpc { passes_per_job: 3 }),
+        (
+            "FPC (2 passes per job)",
+            MrVariant::Fpc { passes_per_job: 2 },
+        ),
+        (
+            "FPC (3 passes per job)",
+            MrVariant::Fpc { passes_per_job: 3 },
+        ),
         (
             "DPC (<= 3000 candidates/job)",
             MrVariant::Dpc {

@@ -50,10 +50,17 @@ fn main() {
         // YAFIM (the paper's contribution).
         let cluster = experiment_cluster(ClusterSpec::paper());
         load_dataset(&cluster, "input.dat", &data.transactions);
-        let run = Yafim::new(Context::new(cluster.clone()), YafimConfig::new(data.support))
-            .mine("input.dat")
-            .expect("dataset written");
-        report("YAFIM (Spark, k-phase)", cluster.metrics().snapshot().jobs, run);
+        let run = Yafim::new(
+            Context::new(cluster.clone()),
+            YafimConfig::new(data.support),
+        )
+        .mine("input.dat")
+        .expect("dataset written");
+        report(
+            "YAFIM (Spark, k-phase)",
+            cluster.metrics().snapshot().jobs,
+            run,
+        );
 
         // MR-Apriori / SPC (the paper's baseline).
         let cluster = experiment_cluster(ClusterSpec::paper());
@@ -61,7 +68,11 @@ fn main() {
         let run = MrApriori::new(cluster.clone(), MrAprioriConfig::new(data.support))
             .mine("input.dat")
             .expect("dataset written");
-        report("MR-Apriori/SPC (k-phase)", cluster.metrics().snapshot().jobs, run);
+        report(
+            "MR-Apriori/SPC (k-phase)",
+            cluster.metrics().snapshot().jobs,
+            run,
+        );
 
         // SON (one-phase family from related work).
         let cluster = experiment_cluster(ClusterSpec::paper());
@@ -69,7 +80,11 @@ fn main() {
         let run = Son::new(cluster.clone(), SonConfig::new(data.support))
             .mine("input.dat")
             .expect("dataset written");
-        report("SON (MapReduce, one-phase)", cluster.metrics().snapshot().jobs, run);
+        report(
+            "SON (MapReduce, one-phase)",
+            cluster.metrics().snapshot().jobs,
+            run,
+        );
 
         // PFP (no candidate generation, Spark-style).
         let cluster = experiment_cluster(ClusterSpec::paper());
@@ -77,7 +92,11 @@ fn main() {
         let run = Pfp::new(Context::new(cluster.clone()), PfpConfig::new(data.support))
             .mine("input.dat")
             .expect("dataset written");
-        report("PFP (Spark, FP-Growth)", cluster.metrics().snapshot().jobs, run);
+        report(
+            "PFP (Spark, FP-Growth)",
+            cluster.metrics().snapshot().jobs,
+            run,
+        );
     }
     println!("\n(All miners are asserted to produce identical itemsets.)");
 }

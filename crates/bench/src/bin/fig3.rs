@@ -8,8 +8,10 @@
 //! T10I4D100K which defaults to 0.25 to keep single-host wall time sane —
 //! relative shapes are scale-invariant, see EXPERIMENTS.md.)
 
-use yafim_bench::{assert_same_results, bench_dataset, print_pass_table, run_mr, run_yafim};
-use yafim_cluster::ClusterSpec;
+use yafim_bench::{
+    assert_same_results, bench_dataset, print_pass_table, run_mr, run_yafim_profiled,
+};
+use yafim_cluster::{iteration_report, ClusterSpec};
 use yafim_data::PaperDataset;
 
 /// (dataset, default scale, paper total-speedup target, paper last-pass speedup target)
@@ -30,7 +32,8 @@ fn main() {
     for (ds, default_scale, paper_total, paper_last) in PANELS {
         let scale = scale_override.unwrap_or(default_scale);
         let data = bench_dataset(ds, scale);
-        let yafim = run_yafim(ClusterSpec::paper(), &data.transactions, data.support);
+        let (yafim, yafim_cluster) =
+            run_yafim_profiled(ClusterSpec::paper(), &data.transactions, data.support);
         let mr = run_mr(ClusterSpec::paper(), &data.transactions, data.support);
         assert_same_results(data.name, &yafim, &mr);
 
@@ -39,12 +42,14 @@ fn main() {
             data.name
         );
         print_pass_table(&title, &yafim, &mr);
+        println!("\n   YAFIM per-iteration report (virtual timeline):");
+        for line in iteration_report(yafim_cluster.metrics()).lines() {
+            println!("   {line}");
+        }
 
         let total_speedup = mr.total_seconds / yafim.total_seconds;
         speedups.push(total_speedup);
-        println!(
-            "   paper target: ~{paper_total:.0}x total speedup; measured {total_speedup:.1}x"
-        );
+        println!("   paper target: ~{paper_total:.0}x total speedup; measured {total_speedup:.1}x");
         if let (Some(target), Some(y), Some(m)) =
             (paper_last, yafim.passes.last(), mr.passes.last())
         {

@@ -1,11 +1,16 @@
 //! Inspection tool: run YAFIM on one dataset and dump the full virtual-time
-//! event log (jobs, stages, broadcasts, driver work, per-pass spans) plus
-//! the by-kind breakdown — the raw material behind every figure.
+//! event log (jobs, stages, broadcasts, driver work, per-pass spans), the
+//! per-stage Spark-UI-style table, and the by-kind breakdown — the raw
+//! material behind every figure.
 //!
-//! Usage: `cargo run -p yafim-bench --release --bin timeline [--dataset mushroom|t10|chess|pumsb|medical] [--scale X]`
+//! Usage: `cargo run -p yafim-bench --release --bin timeline
+//!     [--dataset mushroom|t10|chess|pumsb|medical] [--scale X]
+//!     [--trace out.json]`
+//!
+//! `--trace` writes the run's Chrome trace (Perfetto / chrome://tracing).
 
 use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
-use yafim_cluster::ClusterSpec;
+use yafim_cluster::{chrome_trace, full_report, ClusterSpec};
 use yafim_core::{Yafim, YafimConfig};
 use yafim_data::PaperDataset;
 use yafim_rdd::Context;
@@ -31,9 +36,12 @@ fn main() {
     let data = bench_dataset(dataset, scale);
     let cluster = experiment_cluster(ClusterSpec::paper());
     load_dataset(&cluster, "input.dat", &data.transactions);
-    let run = Yafim::new(Context::new(cluster.clone()), YafimConfig::new(data.support))
-        .mine("input.dat")
-        .expect("dataset written");
+    let run = Yafim::new(
+        Context::new(cluster.clone()),
+        YafimConfig::new(data.support),
+    )
+    .mine("input.dat")
+    .expect("dataset written");
 
     println!(
         "YAFIM on {} (scale {scale}): {} itemsets in {:.2} virtual s\n",
@@ -43,7 +51,9 @@ fn main() {
     );
     print!("{}", cluster.metrics().render_timeline());
 
-    println!("\nvirtual time by event kind:");
+    println!("\n{}", full_report(cluster.metrics()));
+
+    println!("virtual time by event kind:");
     for (kind, n, total) in cluster.metrics().summary_by_kind() {
         println!("  {kind:?}: {n} events, {total}");
     }
@@ -52,4 +62,15 @@ fn main() {
         "\njobs {} · stages {} · tasks {} · cpu units {} · shuffle bytes {}",
         snap.jobs, snap.stages, snap.tasks, snap.work.cpu_units, snap.work.ser_bytes
     );
+
+    if let Some(path) = arg("--trace") {
+        let json = chrome_trace(cluster.metrics(), cluster.spec());
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote Chrome trace to {path} (open in https://ui.perfetto.dev)"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -5,6 +5,8 @@
 //! plumbing: building clusters, loading datasets onto simulated HDFS,
 //! running both miners, and printing aligned series.
 
+pub mod microbench;
+
 use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
 use yafim_core::{MinerRun, MrApriori, MrAprioriConfig, Support, Yafim, YafimConfig};
 use yafim_data::{to_lines, PaperDataset, Transaction};
@@ -28,26 +30,43 @@ pub fn load_dataset(cluster: &SimCluster, name: &str, transactions: &[Transactio
 }
 
 /// Run YAFIM on a fresh paper-shaped cluster over `transactions`.
-pub fn run_yafim(
+pub fn run_yafim(spec: ClusterSpec, transactions: &[Transaction], support: Support) -> MinerRun {
+    run_yafim_profiled(spec, transactions, support).0
+}
+
+/// Like [`run_yafim`], but also hand back the cluster so callers can read
+/// its metrics (span log, per-stage report, Chrome trace) after the run.
+pub fn run_yafim_profiled(
     spec: ClusterSpec,
     transactions: &[Transaction],
     support: Support,
-) -> MinerRun {
+) -> (MinerRun, SimCluster) {
     let cluster = experiment_cluster(spec);
     load_dataset(&cluster, "input.dat", transactions);
-    let ctx = Context::new(cluster);
-    Yafim::new(ctx, YafimConfig::new(support))
+    let ctx = Context::new(cluster.clone());
+    let run = Yafim::new(ctx, YafimConfig::new(support))
         .mine("input.dat")
-        .expect("input.dat was just written")
+        .expect("input.dat was just written");
+    (run, cluster)
 }
 
 /// Run MR-Apriori (SPC) on a fresh paper-shaped cluster.
 pub fn run_mr(spec: ClusterSpec, transactions: &[Transaction], support: Support) -> MinerRun {
+    run_mr_profiled(spec, transactions, support).0
+}
+
+/// Like [`run_mr`], but also hand back the cluster for metrics inspection.
+pub fn run_mr_profiled(
+    spec: ClusterSpec,
+    transactions: &[Transaction],
+    support: Support,
+) -> (MinerRun, SimCluster) {
     let cluster = experiment_cluster(spec);
     load_dataset(&cluster, "input.dat", transactions);
-    MrApriori::new(cluster, MrAprioriConfig::new(support))
+    let run = MrApriori::new(cluster.clone(), MrAprioriConfig::new(support))
         .mine("input.dat")
-        .expect("input.dat was just written")
+        .expect("input.dat was just written");
+    (run, cluster)
 }
 
 /// Generated dataset with its paper metadata, shared by the binaries.

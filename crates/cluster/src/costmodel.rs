@@ -18,13 +18,12 @@
 //! emerge from host hardware.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// All virtual-time constants.
 ///
 /// Engines never hard-code a cost: they count work and call the conversion
 /// helpers on this struct.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     // ---- hardware ----
     /// Sequential disk read bandwidth per node, bytes/s.

@@ -114,7 +114,10 @@ mod tests {
             assert!(b < buckets);
             seen[b] = true;
         }
-        assert!(seen.iter().all(|&s| s), "1000 keys should hit all 7 buckets");
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 keys should hit all 7 buckets"
+        );
     }
 
     #[test]

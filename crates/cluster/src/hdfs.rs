@@ -8,7 +8,7 @@
 
 use crate::costmodel::CostModel;
 use crate::spec::{ClusterSpec, NodeId};
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;

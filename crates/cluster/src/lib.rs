@@ -27,30 +27,42 @@
 //! * [`work`] — per-task work counters.
 //! * [`sched`] — the virtual list scheduler.
 //! * [`hdfs`] — simulated HDFS with real file contents, blocks and replicas.
-//! * [`metrics`] — the virtual clock, counters and event log shared by engines.
+//! * [`metrics`] — the virtual clock, counters and the span log (job →
+//!   stage → task) shared by engines.
+//! * [`trace`] — Chrome trace event exporter (Perfetto / chrome://tracing).
+//! * [`report`] — Spark-UI-style per-stage and per-iteration text tables.
 //! * [`pool`] — the real worker thread pool used to execute tasks.
 
 pub mod bytes;
 pub mod costmodel;
 pub mod hash;
 pub mod hdfs;
+pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod report;
 pub mod sched;
 pub mod spec;
+pub mod sync;
 pub mod time;
+pub mod trace;
 pub mod work;
 
 pub use bytes::{slice_bytes, ByteSize};
 pub use costmodel::CostModel;
 pub use hash::{bucket_of, fx_hash64, FxHashMap, FxHashSet, FxHasher};
 pub use hdfs::{BlockInfo, DfsError, DfsFile, SimHdfs, Split};
-pub use metrics::{Event, EventKind, Metrics, MetricsSnapshot};
+pub use metrics::{
+    DropCounts, Event, EventKind, JobSpan, Metrics, MetricsCapacity, MetricsSnapshot,
+    StageExecution, StageSpan, TaskExecution, TaskSpan,
+};
 pub use pool::ThreadPool;
-pub use sched::{ScheduleOutcome, TaskSpec, VirtualScheduler};
+pub use report::{full_report, iteration_report, stage_report};
+pub use sched::{DetailedSchedule, ScheduleOutcome, TaskPlacement, TaskSpec, VirtualScheduler};
 pub use spec::{ClusterSpec, NodeId};
 pub use time::{SimDuration, SimInstant};
-pub use work::WorkCounters;
+pub use trace::chrome_trace;
+pub use work::{TaskProfile, WorkCounters};
 
 use std::sync::Arc;
 

@@ -1,13 +1,30 @@
-//! Shared metrics: the virtual clock, aggregate counters, and an event log.
+//! Shared metrics: the virtual clock, aggregate counters, and a hierarchical
+//! span log (job → stage → task) over the virtual timeline.
 //!
 //! Both engines charge all their virtual time here, so an experiment can run
 //! a YAFIM job and an MR-Apriori job against separate clusters and compare
-//! `metrics().now()` readings, or read back the event log to reconstruct the
+//! `metrics().now()` readings, or read back the logs to reconstruct the
 //! per-iteration series of the paper's Fig. 3/Fig. 6.
+//!
+//! Three granularities are kept, all on the same virtual clock:
+//!
+//! * **events** — flat intervals ([`Event`]), the coarse log the engines have
+//!   always produced (iterations, broadcasts, HDFS traffic, driver work);
+//! * **spans** — [`JobSpan`] / [`StageSpan`] / [`TaskSpan`], parented
+//!   job → stage → task, each task attributed to a simulated node and core
+//!   with queue wait and a full [`TaskProfile`];
+//! * **aggregates** — [`MetricsSnapshot`] totals.
+//!
+//! Every log is a bounded ring buffer: when full, the *oldest* entries are
+//! dropped and counted in [`DropCounts`], never silently (the text report
+//! prints them). Engines record stages through [`Metrics::record_stage`],
+//! which advances the clock and files all three granularities atomically.
 
+use crate::spec::NodeId;
+use crate::sync::Mutex;
 use crate::time::{SimDuration, SimInstant};
-use crate::work::WorkCounters;
-use parking_lot::Mutex;
+use crate::work::{TaskProfile, WorkCounters};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// What kind of activity an [`Event`] describes.
@@ -17,6 +34,8 @@ pub enum EventKind {
     Job,
     /// One scheduler stage (between shuffle boundaries).
     Stage,
+    /// A shuffle map stage (writing shuffle files for a `reduceByKey`).
+    Shuffle,
     /// One Apriori iteration (pass k), as plotted in Fig. 3.
     Iteration,
     /// A broadcast of shared data to the workers.
@@ -51,6 +70,128 @@ impl Event {
     }
 }
 
+/// One engine job (action / MR job) on the virtual timeline.
+#[derive(Clone, Debug)]
+pub struct JobSpan {
+    /// Job id, unique per metrics sink.
+    pub job_id: u64,
+    /// Label, e.g. `"collect rdd7"`.
+    pub label: String,
+    /// Start of the job interval.
+    pub start: SimInstant,
+    /// Length of the job interval.
+    pub duration: SimDuration,
+}
+
+impl JobSpan {
+    /// End of the job interval.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+/// One scheduler stage, parented to a job.
+#[derive(Clone, Debug)]
+pub struct StageSpan {
+    /// Stage id, unique per metrics sink.
+    pub stage_id: u64,
+    /// Owning job id (0 when the stage ran outside any open job).
+    pub job_id: u64,
+    /// Stage label.
+    pub label: String,
+    /// [`EventKind::Stage`] or [`EventKind::Shuffle`].
+    pub kind: EventKind,
+    /// Shuffle id, for map stages of a `reduceByKey` and for stages reading
+    /// shuffle output.
+    pub shuffle_id: Option<u64>,
+    /// Start of the stage interval (including stage overhead).
+    pub start: SimInstant,
+    /// Length of the stage interval.
+    pub duration: SimDuration,
+    /// Number of tasks the stage ran.
+    pub tasks: u64,
+    /// Merged profile over the stage's tasks.
+    pub profile: TaskProfile,
+}
+
+impl StageSpan {
+    /// End of the stage interval.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+/// One task, parented to a stage, attributed to a simulated node and core.
+#[derive(Clone, Debug)]
+pub struct TaskSpan {
+    /// Owning stage id.
+    pub stage_id: u64,
+    /// Owning job id (0 when outside any open job).
+    pub job_id: u64,
+    /// Partition index the task computed.
+    pub partition: usize,
+    /// Node the task ran on.
+    pub node: NodeId,
+    /// Core *within* the node.
+    pub core: usize,
+    /// Time the task spent queued after stage submission.
+    pub queue_wait: SimDuration,
+    /// Launch time on the virtual timeline.
+    pub start: SimInstant,
+    /// Run time.
+    pub duration: SimDuration,
+    /// Everything the task did.
+    pub profile: TaskProfile,
+}
+
+impl TaskSpan {
+    /// End of the task interval.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+/// One task's execution record, as reported by an engine to
+/// [`Metrics::record_stage`]. Times are relative to the start of the stage's
+/// task window (after the stage overhead).
+#[derive(Clone, Debug)]
+pub struct TaskExecution {
+    /// Partition index.
+    pub partition: usize,
+    /// Node the task ran on.
+    pub node: NodeId,
+    /// Core within the node.
+    pub core: usize,
+    /// Launch offset from the task window start (the queue wait).
+    pub start: SimDuration,
+    /// Task duration.
+    pub duration: SimDuration,
+    /// Everything the task did.
+    pub profile: TaskProfile,
+}
+
+/// One stage's execution record: clock accounting plus per-task placements.
+///
+/// The stage charges `overhead + max(start + duration over tasks) + trailing`
+/// to the virtual clock. `overhead` models driver/stage setup before the
+/// first task launches; `trailing` models per-wave latencies charged after
+/// the last task (MapReduce heartbeats).
+#[derive(Clone, Debug)]
+pub struct StageExecution {
+    /// Stage label.
+    pub label: String,
+    /// [`EventKind::Stage`] or [`EventKind::Shuffle`].
+    pub kind: EventKind,
+    /// Shuffle id this stage writes or reads, if any.
+    pub shuffle_id: Option<u64>,
+    /// Setup time before the first task can launch.
+    pub overhead: SimDuration,
+    /// Extra time charged after the last task finishes.
+    pub trailing: SimDuration,
+    /// Per-task execution records.
+    pub tasks: Vec<TaskExecution>,
+}
+
 /// Aggregate counters over a whole run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MetricsSnapshot {
@@ -64,28 +205,150 @@ pub struct MetricsSnapshot {
     pub tasks: u64,
     /// Merged work counters across all tasks.
     pub work: WorkCounters,
+    /// Merged full profile across all tasks.
+    pub profile: TaskProfile,
 }
 
-#[derive(Default)]
+/// How many entries each bounded log has discarded (oldest first).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Dropped flat events.
+    pub events: u64,
+    /// Dropped job spans.
+    pub jobs: u64,
+    /// Dropped stage spans.
+    pub stages: u64,
+    /// Dropped task spans.
+    pub tasks: u64,
+}
+
+impl DropCounts {
+    /// Total dropped entries across all logs.
+    pub fn total(&self) -> u64 {
+        self.events + self.jobs + self.stages + self.tasks
+    }
+}
+
+/// Ring-buffer capacities for the in-memory logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsCapacity {
+    /// Max retained flat events.
+    pub events: usize,
+    /// Max retained job spans.
+    pub jobs: usize,
+    /// Max retained stage spans.
+    pub stages: usize,
+    /// Max retained task spans.
+    pub tasks: usize,
+}
+
+impl Default for MetricsCapacity {
+    fn default() -> Self {
+        // Sized so every paper-figure run fits with room to spare, while a
+        // pathological long-running job tops out around tens of MB.
+        MetricsCapacity {
+            events: 16_384,
+            jobs: 4_096,
+            stages: 16_384,
+            tasks: 262_144,
+        }
+    }
+}
+
+/// A bounded log: ring buffer plus a count of entries dropped at the front.
+struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+}
+
 struct MetricsInner {
     now: SimInstant,
     jobs: u64,
     stages: u64,
     tasks: u64,
     work: WorkCounters,
-    events: Vec<Event>,
+    profile: TaskProfile,
+    next_job_id: u64,
+    next_stage_id: u64,
+    /// Innermost-last stack of jobs opened via [`Metrics::begin_job`].
+    open_jobs: Vec<(u64, String, SimInstant)>,
+    events: Ring<Event>,
+    job_spans: Ring<JobSpan>,
+    stage_spans: Ring<StageSpan>,
+    task_spans: Ring<TaskSpan>,
 }
 
-/// Thread-safe handle to the virtual clock and event log. Cheap to clone.
-#[derive(Clone, Default)]
+impl MetricsInner {
+    fn new(capacity: MetricsCapacity) -> Self {
+        MetricsInner {
+            now: SimInstant::EPOCH,
+            jobs: 0,
+            stages: 0,
+            tasks: 0,
+            work: WorkCounters::new(),
+            profile: TaskProfile::new(),
+            next_job_id: 1,
+            next_stage_id: 1,
+            open_jobs: Vec::new(),
+            events: Ring::new(capacity.events),
+            job_spans: Ring::new(capacity.jobs),
+            stage_spans: Ring::new(capacity.stages),
+            task_spans: Ring::new(capacity.tasks),
+        }
+    }
+
+    fn capacity(&self) -> MetricsCapacity {
+        MetricsCapacity {
+            events: self.events.capacity,
+            jobs: self.job_spans.capacity,
+            stages: self.stage_spans.capacity,
+            tasks: self.task_spans.capacity,
+        }
+    }
+}
+
+/// Thread-safe handle to the virtual clock and the logs. Cheap to clone.
+#[derive(Clone)]
 pub struct Metrics {
     inner: Arc<Mutex<MetricsInner>>,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Metrics {
-    /// A fresh metrics sink at virtual time zero.
+    /// A fresh metrics sink at virtual time zero with default capacities.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(MetricsCapacity::default())
+    }
+
+    /// A fresh metrics sink with explicit ring-buffer capacities.
+    pub fn with_capacity(capacity: MetricsCapacity) -> Self {
+        Metrics {
+            inner: Arc::new(Mutex::new(MetricsInner::new(capacity))),
+        }
     }
 
     /// Current virtual time.
@@ -135,12 +398,112 @@ impl Metrics {
         });
     }
 
-    /// Count a finished job.
+    /// Open a job span at the current virtual time. Stages recorded before
+    /// the matching [`Metrics::end_job`] are parented to it. Returns the job
+    /// id.
+    pub fn begin_job(&self, label: impl Into<String>) -> u64 {
+        let mut g = self.inner.lock();
+        let id = g.next_job_id;
+        g.next_job_id += 1;
+        let now = g.now;
+        g.open_jobs.push((id, label.into(), now));
+        id
+    }
+
+    /// Close a job opened with [`Metrics::begin_job`]: files the
+    /// [`JobSpan`], a flat [`EventKind::Job`] event, and bumps the job
+    /// counter. Out-of-order ids are tolerated (the matching entry is
+    /// removed wherever it sits on the stack).
+    pub fn end_job(&self, job_id: u64) {
+        let mut g = self.inner.lock();
+        let Some(pos) = g.open_jobs.iter().position(|(id, _, _)| *id == job_id) else {
+            return;
+        };
+        let (id, label, start) = g.open_jobs.remove(pos);
+        let duration = g.now.since(start);
+        g.events.push(Event {
+            kind: EventKind::Job,
+            label: label.clone(),
+            start,
+            duration,
+        });
+        g.job_spans.push(JobSpan {
+            job_id: id,
+            label,
+            start,
+            duration,
+        });
+        g.jobs += 1;
+    }
+
+    /// Record one executed stage: advances the clock by
+    /// `overhead + makespan + trailing`, files the stage span, its task
+    /// spans, a flat event, and merges the profiles into the aggregates.
+    /// Returns the assigned stage id.
+    pub fn record_stage(&self, exec: StageExecution) -> u64 {
+        let mut g = self.inner.lock();
+        let stage_id = g.next_stage_id;
+        g.next_stage_id += 1;
+        let job_id = g.open_jobs.last().map_or(0, |(id, _, _)| *id);
+
+        let stage_start = g.now;
+        let makespan = exec
+            .tasks
+            .iter()
+            .map(|t| t.start + t.duration)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        let duration = exec.overhead + makespan + exec.trailing;
+        g.now = stage_start + duration;
+
+        let window_start = stage_start + exec.overhead;
+        let mut merged = TaskProfile::new();
+        for t in &exec.tasks {
+            merged.merge(&t.profile);
+            g.task_spans.push(TaskSpan {
+                stage_id,
+                job_id,
+                partition: t.partition,
+                node: t.node,
+                core: t.core,
+                queue_wait: t.start,
+                start: window_start + t.start,
+                duration: t.duration,
+                profile: t.profile,
+            });
+        }
+
+        g.events.push(Event {
+            kind: exec.kind,
+            label: exec.label.clone(),
+            start: stage_start,
+            duration,
+        });
+        g.stage_spans.push(StageSpan {
+            stage_id,
+            job_id,
+            label: exec.label,
+            kind: exec.kind,
+            shuffle_id: exec.shuffle_id,
+            start: stage_start,
+            duration,
+            tasks: exec.tasks.len() as u64,
+            profile: merged,
+        });
+        g.stages += 1;
+        g.tasks += exec.tasks.len() as u64;
+        g.work.merge(&merged.work);
+        g.profile.merge(&merged);
+        stage_id
+    }
+
+    /// Count a finished job (legacy path for engines not using
+    /// [`Metrics::begin_job`]).
     pub fn count_job(&self) {
         self.inner.lock().jobs += 1;
     }
 
-    /// Count a finished stage.
+    /// Count a finished stage (legacy path for engines not using
+    /// [`Metrics::record_stage`]).
     pub fn count_stage(&self) {
         self.inner.lock().stages += 1;
     }
@@ -150,6 +513,7 @@ impl Metrics {
         let mut g = self.inner.lock();
         g.tasks += n;
         g.work.merge(work);
+        g.profile.work.merge(work);
     }
 
     /// Copy of the aggregate counters.
@@ -161,12 +525,13 @@ impl Metrics {
             stages: g.stages,
             tasks: g.tasks,
             work: g.work,
+            profile: g.profile,
         }
     }
 
     /// Copy of the event log.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().events.clone()
+        self.inner.lock().events.buf.iter().cloned().collect()
     }
 
     /// Events of one kind, in order.
@@ -174,15 +539,44 @@ impl Metrics {
         self.inner
             .lock()
             .events
+            .buf
             .iter()
             .filter(|e| e.kind == kind)
             .cloned()
             .collect()
     }
 
-    /// Reset clock, counters and log (for reusing a cluster across runs).
+    /// Copy of the retained job spans, in completion order.
+    pub fn job_spans(&self) -> Vec<JobSpan> {
+        self.inner.lock().job_spans.buf.iter().cloned().collect()
+    }
+
+    /// Copy of the retained stage spans, in completion order.
+    pub fn stage_spans(&self) -> Vec<StageSpan> {
+        self.inner.lock().stage_spans.buf.iter().cloned().collect()
+    }
+
+    /// Copy of the retained task spans, grouped by stage in stage order.
+    pub fn task_spans(&self) -> Vec<TaskSpan> {
+        self.inner.lock().task_spans.buf.iter().cloned().collect()
+    }
+
+    /// How many entries each log has dropped to stay within capacity.
+    pub fn dropped(&self) -> DropCounts {
+        let g = self.inner.lock();
+        DropCounts {
+            events: g.events.dropped,
+            jobs: g.job_spans.dropped,
+            stages: g.stage_spans.dropped,
+            tasks: g.task_spans.dropped,
+        }
+    }
+
+    /// Reset clock, counters and logs (for reusing a cluster across runs).
+    /// Capacities are preserved.
     pub fn reset(&self) {
-        *self.inner.lock() = MetricsInner::default();
+        let mut g = self.inner.lock();
+        *g = MetricsInner::new(g.capacity());
     }
 
     /// Aggregate the event log by kind: `(kind, events, total virtual time)`,
@@ -191,7 +585,7 @@ impl Metrics {
     pub fn summary_by_kind(&self) -> Vec<(EventKind, usize, SimDuration)> {
         let g = self.inner.lock();
         let mut agg: Vec<(EventKind, usize, SimDuration)> = Vec::new();
-        for e in &g.events {
+        for e in g.events.buf.iter() {
             match agg.iter_mut().find(|(k, _, _)| *k == e.kind) {
                 Some((_, n, d)) => {
                     *n += 1;
@@ -209,7 +603,7 @@ impl Metrics {
     pub fn render_timeline(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for e in self.inner.lock().events.iter() {
+        for e in self.inner.lock().events.buf.iter() {
             let _ = writeln!(
                 out,
                 "[{:>10.3}s +{:>9.3}s] {:<10} {}",
@@ -226,6 +620,17 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn task(partition: usize, node: u32, core: usize, start: f64, dur: f64) -> TaskExecution {
+        TaskExecution {
+            partition,
+            node: NodeId(node),
+            core,
+            start: SimDuration::from_secs(start),
+            duration: SimDuration::from_secs(dur),
+            profile: TaskProfile::new(),
+        }
+    }
 
     #[test]
     fn clock_advances() {
@@ -273,6 +678,150 @@ mod tests {
     }
 
     #[test]
+    fn record_stage_files_all_granularities() {
+        let m = Metrics::new();
+        let job = m.begin_job("job a");
+        let stage_id = m.record_stage(StageExecution {
+            label: "stage one".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::from_secs(0.5),
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 0, 0, 0.0, 1.0), task(1, 1, 0, 0.0, 2.0)],
+        });
+        m.end_job(job);
+
+        // Clock: 0.5 overhead + 2.0 makespan.
+        assert_eq!(m.now().as_secs(), 2.5);
+
+        let stages = m.stage_spans();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].stage_id, stage_id);
+        assert_eq!(stages[0].job_id, job);
+        assert_eq!(stages[0].tasks, 2);
+        assert_eq!(stages[0].duration.as_secs(), 2.5);
+
+        let tasks = m.task_spans();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].start.as_secs(), 0.5, "task starts after overhead");
+        assert_eq!(tasks[1].end().as_secs(), 2.5);
+        assert!(tasks
+            .iter()
+            .all(|t| t.stage_id == stage_id && t.job_id == job));
+
+        let jobs = m.job_spans();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].duration.as_secs(), 2.5);
+
+        let snap = m.snapshot();
+        assert_eq!((snap.jobs, snap.stages, snap.tasks), (1, 1, 2));
+    }
+
+    #[test]
+    fn trailing_time_extends_the_stage() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "map wave".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::from_secs(3.0),
+            tasks: vec![task(0, 0, 0, 0.0, 1.0)],
+        });
+        assert_eq!(m.now().as_secs(), 4.0);
+        assert_eq!(m.stage_spans()[0].duration.as_secs(), 4.0);
+    }
+
+    #[test]
+    fn stage_outside_job_gets_job_zero() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "orphan".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 0, 0, 0.0, 1.0)],
+        });
+        assert_eq!(m.stage_spans()[0].job_id, 0);
+    }
+
+    #[test]
+    fn shuffle_stage_keeps_its_identity() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "shuffle 9 map".into(),
+            kind: EventKind::Shuffle,
+            shuffle_id: Some(9),
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![],
+        });
+        let s = &m.stage_spans()[0];
+        assert_eq!(s.kind, EventKind::Shuffle);
+        assert_eq!(s.shuffle_id, Some(9));
+        assert_eq!(m.events_of(EventKind::Shuffle).len(), 1);
+    }
+
+    #[test]
+    fn ring_buffers_drop_oldest_and_count() {
+        let m = Metrics::with_capacity(MetricsCapacity {
+            events: 2,
+            jobs: 2,
+            stages: 2,
+            tasks: 3,
+        });
+        for i in 0..5 {
+            m.record_stage(StageExecution {
+                label: format!("s{i}"),
+                kind: EventKind::Stage,
+                shuffle_id: None,
+                overhead: SimDuration::ZERO,
+                trailing: SimDuration::ZERO,
+                tasks: vec![task(0, 0, 0, 0.0, 1.0)],
+            });
+        }
+        let d = m.dropped();
+        assert_eq!(d.events, 3);
+        assert_eq!(d.stages, 3);
+        assert_eq!(d.tasks, 2);
+        assert_eq!(d.total(), 8);
+        // Newest entries survive.
+        let labels: Vec<String> = m.stage_spans().into_iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["s3".to_string(), "s4".to_string()]);
+        // Aggregates are not affected by dropping.
+        assert_eq!(m.snapshot().stages, 5);
+        assert_eq!(m.snapshot().tasks, 5);
+    }
+
+    #[test]
+    fn nested_jobs_parent_to_innermost() {
+        let m = Metrics::new();
+        let outer = m.begin_job("outer");
+        let inner = m.begin_job("inner");
+        m.record_stage(StageExecution {
+            label: "s".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 0, 0, 0.0, 1.0)],
+        });
+        m.end_job(inner);
+        m.end_job(outer);
+        assert_eq!(m.stage_spans()[0].job_id, inner);
+        assert_eq!(m.job_spans().len(), 2);
+    }
+
+    #[test]
+    fn end_job_with_unknown_id_is_a_noop() {
+        let m = Metrics::new();
+        m.end_job(42);
+        assert!(m.job_spans().is_empty());
+        assert_eq!(m.snapshot().jobs, 0);
+    }
+
+    #[test]
     fn summary_aggregates_by_kind() {
         let m = Metrics::new();
         m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Stage, "a");
@@ -300,12 +849,26 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let m = Metrics::new();
+        let m = Metrics::with_capacity(MetricsCapacity {
+            events: 7,
+            jobs: 7,
+            stages: 7,
+            tasks: 7,
+        });
         m.advance_with_event(SimDuration::from_secs(1.0), EventKind::Job, "j");
         m.count_job();
         m.reset();
         assert_eq!(m.now(), SimInstant::EPOCH);
         assert!(m.events().is_empty());
         assert_eq!(m.snapshot().jobs, 0);
+        // Capacity survives the reset.
+        for i in 0..9 {
+            m.advance_with_event(
+                SimDuration::from_secs(1.0),
+                EventKind::Other,
+                format!("{i}"),
+            );
+        }
+        assert_eq!(m.dropped().events, 2);
     }
 }

@@ -4,9 +4,9 @@
 //! simulation itself runs. Tasks are ordinary closures; [`ThreadPool::map`]
 //! executes a batch and returns results in input order, propagating panics.
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -23,16 +23,21 @@ impl ThreadPool {
     /// Spawn a pool with `size` worker threads (at least one).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = channel::<Job>();
+        // std's mpsc receiver is single-consumer; share it behind a mutex so
+        // every worker can pull from the same queue.
+        let rx = Arc::new(Mutex::new(rx));
         let workers = (0..size)
             .map(|i| {
-                let rx = rx.clone();
+                let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("yafim-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
+                    .spawn(move || loop {
+                        let job = match rx.lock().recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        job();
                     })
                     .expect("failed to spawn worker thread")
             })
@@ -110,7 +115,7 @@ impl ThreadPool {
 
         let mut st = batch.lock.lock();
         while st.remaining > 0 {
-            batch.cv.wait(&mut st);
+            st = batch.cv.wait(st);
         }
         if st.panicked {
             panic!("a task in the worker pool panicked");
@@ -141,7 +146,9 @@ impl Drop for ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish()
     }
 }
 

@@ -64,6 +64,28 @@ pub struct ScheduleOutcome {
     pub waves: usize,
 }
 
+/// Where and when one task ran, relative to stage submission.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskPlacement {
+    /// Node the task executed on (after any locality spill-over).
+    pub node: NodeId,
+    /// Core index *within* its node.
+    pub core: usize,
+    /// Launch time relative to stage submission — the task's queue wait.
+    pub start: SimDuration,
+    /// The task's virtual duration (as passed in).
+    pub duration: SimDuration,
+}
+
+/// [`ScheduleOutcome`] plus per-task placements, in input task order.
+#[derive(Clone, Debug)]
+pub struct DetailedSchedule {
+    /// Aggregate outcome (makespan, busy time, waves).
+    pub outcome: ScheduleOutcome,
+    /// One placement per input task.
+    pub placements: Vec<TaskPlacement>,
+}
+
 /// Greedy earliest-core list scheduler over the virtual cluster.
 #[derive(Clone, Debug)]
 pub struct VirtualScheduler {
@@ -93,6 +115,12 @@ impl VirtualScheduler {
 
     /// Schedule `tasks` (in order) and return the outcome.
     pub fn schedule(&self, tasks: &[TaskSpec]) -> ScheduleOutcome {
+        self.schedule_detailed(tasks).outcome
+    }
+
+    /// Like [`VirtualScheduler::schedule`], also reporting where and when
+    /// each task ran — the raw material for per-task spans and traces.
+    pub fn schedule_detailed(&self, tasks: &[TaskSpec]) -> DetailedSchedule {
         let nodes = self.spec.nodes as usize;
         let cores_per_node = self.spec.cores_per_node as usize;
         let total_cores = nodes * cores_per_node;
@@ -113,6 +141,7 @@ impl VirtualScheduler {
         };
 
         let mut total_busy = SimDuration::ZERO;
+        let mut placements = Vec::with_capacity(tasks.len());
         for t in tasks {
             let core = match t.preferred_node {
                 Some(node) => {
@@ -134,19 +163,31 @@ impl VirtualScheduler {
                 }
                 None => earliest_in(&free, 0, total_cores),
             };
+            placements.push(TaskPlacement {
+                node: NodeId((core / cores_per_node) as u32),
+                core: core % cores_per_node,
+                start: free[core],
+                duration: t.duration,
+            });
             free[core] += t.duration;
             count[core] += 1;
             total_busy += t.duration;
         }
 
-        let makespan = free.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+        let makespan = free
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
         let waves = count.iter().copied().max().unwrap_or(0);
 
-        ScheduleOutcome {
-            makespan,
-            total_busy,
-            tasks: tasks.len(),
-            waves,
+        DetailedSchedule {
+            outcome: ScheduleOutcome {
+                makespan,
+                total_busy,
+                tasks: tasks.len(),
+                waves,
+            },
+            placements,
         }
     }
 }
@@ -251,6 +292,50 @@ mod tests {
         let lower = out.total_busy / 6.0;
         assert!(out.makespan >= lower.max(max_task));
         assert!(out.makespan <= lower + max_task + SimDuration::from_secs(1e-9));
+    }
+
+    #[test]
+    fn detailed_placements_match_outcome_and_never_overlap() {
+        let s = VirtualScheduler::new(spec(2, 2));
+        let tasks: Vec<_> = (0..9)
+            .map(|i| TaskSpec::anywhere(SimDuration::from_secs(0.1 * (i % 4 + 1) as f64)))
+            .collect();
+        let d = s.schedule_detailed(&tasks);
+        assert_eq!(d.placements.len(), tasks.len());
+        assert_eq!(d.outcome, s.schedule(&tasks));
+        // End of the latest placement is the makespan.
+        let end = d
+            .placements
+            .iter()
+            .map(|p| p.start + p.duration)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        assert_eq!(end, d.outcome.makespan);
+        // Per-core intervals must not overlap.
+        let mut by_core: std::collections::HashMap<(u32, usize), Vec<&TaskPlacement>> =
+            std::collections::HashMap::new();
+        for p in &d.placements {
+            by_core.entry((p.node.0, p.core)).or_default().push(p);
+        }
+        for ps in by_core.values_mut() {
+            ps.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+            for w in ps.windows(2) {
+                assert!(
+                    w[0].start + w[0].duration <= w[1].start,
+                    "overlap on a core"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_respects_locality_node() {
+        let s = VirtualScheduler::with_locality_wait(spec(2, 1), SimDuration::from_secs(1e9));
+        let tasks: Vec<_> = (0..2)
+            .map(|_| TaskSpec::local(SimDuration::from_secs(1.0), NodeId(1)))
+            .collect();
+        let d = s.schedule_detailed(&tasks);
+        assert!(d.placements.iter().all(|p| p.node == NodeId(1)));
+        assert_eq!(d.placements[1].start.as_secs(), 1.0, "second task queued");
     }
 
     #[test]

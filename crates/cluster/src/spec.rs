@@ -1,9 +1,7 @@
 //! Cluster topology description.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a virtual node, `0..ClusterSpec::nodes`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -24,7 +22,7 @@ impl std::fmt::Display for NodeId {
 /// Matches the evaluation cluster of the paper when constructed with
 /// [`ClusterSpec::paper`]: 12 nodes, each with two quad-core Intel Xeons
 /// (8 cores), 24 GB of memory and a 2 TB disk.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Number of worker nodes.
     pub nodes: u32,

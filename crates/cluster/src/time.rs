@@ -68,7 +68,9 @@ impl Eq for SimDuration {}
 // Total order is sound: construction forbids NaN.
 impl Ord for SimDuration {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimDuration is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimDuration is never NaN")
     }
 }
 
@@ -173,7 +175,9 @@ impl Eq for SimInstant {}
 
 impl Ord for SimInstant {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimInstant is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimInstant is never NaN")
     }
 }
 

@@ -104,9 +104,65 @@ impl WorkCounters {
     }
 }
 
+/// Full per-task profile: physical work plus the engine-level attribution
+/// the observability layer reports (shuffle/broadcast bytes, cache
+/// behaviour). The physical side of every attributed byte is *also* charged
+/// to [`WorkCounters`] — the attribution fields say *why* the bytes moved,
+/// not *that* they moved, so merging a profile never double-counts time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskProfile {
+    /// Physical work counters (drive virtual time).
+    pub work: WorkCounters,
+    /// Bytes fetched from shuffle map outputs (local + remote).
+    pub shuffle_read_bytes: u64,
+    /// Bytes written to shuffle files on the map side.
+    pub shuffle_write_bytes: u64,
+    /// Bytes of broadcast variables read by the task.
+    pub broadcast_read_bytes: u64,
+    /// Partition reads served from the cache (any tier).
+    pub cache_hits: u64,
+    /// Partition reads that missed the cache and recomputed.
+    pub cache_misses: u64,
+}
+
+impl TaskProfile {
+    /// A fresh, all-zero profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &TaskProfile) {
+        self.work.merge(&other.work);
+        self.shuffle_read_bytes += other.shuffle_read_bytes;
+        self.shuffle_write_bytes += other.shuffle_write_bytes;
+        self.broadcast_read_bytes += other.broadcast_read_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_merge_adds_attribution() {
+        let mut a = TaskProfile::new();
+        a.work.add_records_in(2);
+        a.shuffle_read_bytes = 10;
+        a.cache_hits = 1;
+        let mut b = TaskProfile::new();
+        b.work.add_records_in(3);
+        b.shuffle_write_bytes = 20;
+        b.cache_misses = 2;
+        a.merge(&b);
+        assert_eq!(a.work.records_in, 5);
+        assert_eq!(a.shuffle_read_bytes, 10);
+        assert_eq!(a.shuffle_write_bytes, 20);
+        assert_eq!(a.cache_hits, 1);
+        assert_eq!(a.cache_misses, 2);
+    }
 
     #[test]
     fn records_also_cost_cpu() {

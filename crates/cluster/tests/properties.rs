@@ -1,22 +1,41 @@
-//! Property-based tests over the substrate: scheduler bounds, HDFS layout
-//! invariants, hashing determinism, and cost-model additivity.
+//! Randomized-but-deterministic tests over the substrate: scheduler bounds,
+//! HDFS layout invariants, hashing determinism, and cost-model additivity.
+//!
+//! Each case runs over many seeded inputs from a local splitmix64 stream, so
+//! coverage is property-test-like while remaining reproducible offline.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use yafim_cluster::{
-    bucket_of, fx_hash64, ClusterSpec, CostModel, SimDuration, SimHdfs, TaskSpec,
-    VirtualScheduler, WorkCounters,
+    bucket_of, fx_hash64, ClusterSpec, CostModel, SimDuration, SimHdfs, TaskSpec, VirtualScheduler,
+    WorkCounters,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Tiny deterministic generator for test inputs (splitmix64).
+struct Rng(u64);
 
-    #[test]
-    fn scheduler_respects_classic_bounds(
-        durs in vec(1u32..1000, 0..60),
-        nodes in 1u32..6,
-        cores in 1u32..5,
-    ) {
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `[lo, hi)`; modulo bias is irrelevant for tests.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+#[test]
+fn scheduler_respects_classic_bounds() {
+    let mut rng = Rng(1);
+    for case in 0..128 {
+        let nodes = rng.range(1, 6) as u32;
+        let cores = rng.range(1, 5) as u32;
+        let n_tasks = rng.range(0, 60) as usize;
+        let durs: Vec<u32> = (0..n_tasks).map(|_| rng.range(1, 1000) as u32).collect();
+
         let spec = ClusterSpec::new(nodes, cores, 1 << 30);
         // No locality: pure greedy list scheduling bounds apply.
         let sched = VirtualScheduler::new(spec);
@@ -29,110 +48,135 @@ proptest! {
         let max: f64 = durs.iter().map(|&d| d as f64 / 1e3).fold(0.0, f64::max);
         let c = (nodes * cores) as f64;
         let lower = (total / c).max(max);
-        prop_assert!(out.makespan.as_secs() >= lower - 1e-9);
-        prop_assert!(out.makespan.as_secs() <= total / c + max + 1e-9);
-        prop_assert!((out.total_busy.as_secs() - total).abs() < 1e-9);
+        assert!(
+            out.makespan.as_secs() >= lower - 1e-9,
+            "case {case}: makespan below lower bound"
+        );
+        assert!(
+            out.makespan.as_secs() <= total / c + max + 1e-9,
+            "case {case}: makespan above Graham bound"
+        );
+        assert!(
+            (out.total_busy.as_secs() - total).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn more_cores_never_hurt(
-        durs in vec(1u32..500, 1..40),
-        nodes in 1u32..4,
-        cores in 1u32..4,
-    ) {
-        let tasks: Vec<TaskSpec> = durs
-            .iter()
-            .map(|&d| TaskSpec::anywhere(SimDuration::from_millis(d as f64)))
+#[test]
+fn more_cores_never_hurt() {
+    let mut rng = Rng(2);
+    for case in 0..128 {
+        let nodes = rng.range(1, 4) as u32;
+        let cores = rng.range(1, 4) as u32;
+        let n_tasks = rng.range(1, 40) as usize;
+        let tasks: Vec<TaskSpec> = (0..n_tasks)
+            .map(|_| TaskSpec::anywhere(SimDuration::from_millis(rng.range(1, 500) as f64)))
             .collect();
-        let small = VirtualScheduler::new(ClusterSpec::new(nodes, cores, 1 << 30))
-            .schedule(&tasks);
-        let big = VirtualScheduler::new(ClusterSpec::new(nodes * 2, cores, 1 << 30))
-            .schedule(&tasks);
-        prop_assert!(big.makespan <= small.makespan);
+        let small = VirtualScheduler::new(ClusterSpec::new(nodes, cores, 1 << 30)).schedule(&tasks);
+        let big =
+            VirtualScheduler::new(ClusterSpec::new(nodes * 2, cores, 1 << 30)).schedule(&tasks);
+        assert!(big.makespan <= small.makespan, "case {case}");
     }
+}
 
-    #[test]
-    fn hdfs_blocks_tile_any_file(
-        n_lines in 0usize..300,
-        line_len in 1usize..40,
-        block_size in 8u64..4096,
-    ) {
+#[test]
+fn hdfs_blocks_tile_any_file() {
+    let mut rng = Rng(3);
+    for case in 0..128 {
+        let n_lines = rng.range(0, 300) as usize;
+        let line_len = rng.range(1, 40) as usize;
+        let block_size = rng.range(8, 4096);
+
         let fs = SimHdfs::new(ClusterSpec::new(4, 2, 1 << 30), CostModel::hadoop_era());
         fs.set_block_size(block_size);
-        let lines: Vec<String> = (0..n_lines).map(|i| "x".repeat(1 + (i % line_len))).collect();
+        let lines: Vec<String> = (0..n_lines)
+            .map(|i| "x".repeat(1 + (i % line_len)))
+            .collect();
         let f = fs.put_overwrite("f", lines);
         let mut covered = 0usize;
         let mut bytes = 0u64;
         for b in f.blocks() {
-            prop_assert_eq!(b.lines.start, covered);
+            assert_eq!(b.lines.start, covered, "case {case}: gap before block");
             covered = b.lines.end;
             bytes += b.bytes;
         }
-        prop_assert_eq!(covered, n_lines);
-        prop_assert_eq!(bytes, f.bytes());
+        assert_eq!(covered, n_lines, "case {case}");
+        assert_eq!(bytes, f.bytes(), "case {case}");
     }
+}
 
-    #[test]
-    fn hdfs_splits_tile_any_file(
-        n_lines in 1usize..300,
-        min_splits in 1usize..40,
-    ) {
+#[test]
+fn hdfs_splits_tile_any_file() {
+    let mut rng = Rng(4);
+    for case in 0..128 {
+        let n_lines = rng.range(1, 300) as usize;
+        let min_splits = rng.range(1, 40) as usize;
+
         let fs = SimHdfs::new(ClusterSpec::new(4, 2, 1 << 30), CostModel::hadoop_era());
         let lines: Vec<String> = (0..n_lines).map(|i| format!("line {i}")).collect();
         let f = fs.put_overwrite("f", lines);
         let splits = f.splits(min_splits);
-        prop_assert!(splits.len() <= n_lines);
+        assert!(splits.len() <= n_lines, "case {case}");
         let mut covered = 0usize;
         let mut bytes = 0u64;
         for s in &splits {
-            prop_assert_eq!(s.lines.start, covered);
+            assert_eq!(s.lines.start, covered, "case {case}: gap before split");
             covered = s.lines.end;
             bytes += s.bytes;
         }
-        prop_assert_eq!(covered, n_lines);
-        prop_assert_eq!(bytes, f.bytes());
+        assert_eq!(covered, n_lines, "case {case}");
+        assert_eq!(bytes, f.bytes(), "case {case}");
     }
+}
 
-    #[test]
-    fn fx_hash_is_deterministic_and_buckets_in_range(
-        keys in vec(any::<u64>(), 0..100),
-        buckets in 1usize..64,
-    ) {
-        for k in &keys {
-            prop_assert_eq!(fx_hash64(k), fx_hash64(k));
-            prop_assert!(bucket_of(k, buckets) < buckets);
+#[test]
+fn fx_hash_is_deterministic_and_buckets_in_range() {
+    let mut rng = Rng(5);
+    for _ in 0..128 {
+        let buckets = rng.range(1, 64) as usize;
+        for _ in 0..100 {
+            let k = rng.next();
+            assert_eq!(fx_hash64(&k), fx_hash64(&k));
+            assert!(bucket_of(&k, buckets) < buckets);
         }
     }
+}
 
-    #[test]
-    fn work_counter_time_is_additive(
-        cpu_a in 0u64..1_000_000, cpu_b in 0u64..1_000_000,
-        disk_a in 0u64..1_000_000, disk_b in 0u64..1_000_000,
-        net_a in 0u64..1_000_000, net_b in 0u64..1_000_000,
-    ) {
-        let model = CostModel::zero_overhead();
+#[test]
+fn work_counter_time_is_additive() {
+    let mut rng = Rng(6);
+    let model = CostModel::zero_overhead();
+    for case in 0..256 {
         let mut a = WorkCounters::new();
-        a.add_cpu(cpu_a);
-        a.add_disk_read(disk_a);
-        a.add_net(net_a);
+        a.add_cpu(rng.range(0, 1_000_000));
+        a.add_disk_read(rng.range(0, 1_000_000));
+        a.add_net(rng.range(0, 1_000_000));
         let mut b = WorkCounters::new();
-        b.add_cpu(cpu_b);
-        b.add_disk_read(disk_b);
-        b.add_net(net_b);
+        b.add_cpu(rng.range(0, 1_000_000));
+        b.add_disk_read(rng.range(0, 1_000_000));
+        b.add_net(rng.range(0, 1_000_000));
 
         let separate = a.data_time(&model) + b.data_time(&model);
         let mut merged = a;
         merged.merge(&b);
         // net_transfer has a per-transfer latency term, so only compare when
         // both or neither move bytes; zero_overhead removes the latency.
-        prop_assert!((merged.data_time(&model).as_secs() - separate.as_secs()).abs() < 1e-9);
+        assert!(
+            (merged.data_time(&model).as_secs() - separate.as_secs()).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn cost_model_scales_linearly(bytes in 1u64..100_000_000) {
-        let m = CostModel::zero_overhead();
+#[test]
+fn cost_model_scales_linearly() {
+    let mut rng = Rng(7);
+    let m = CostModel::zero_overhead();
+    for case in 0..256 {
+        let bytes = rng.range(1, 100_000_000);
         let one = m.disk_read(bytes).as_secs();
         let two = m.disk_read(bytes * 2).as_secs();
-        prop_assert!((two - 2.0 * one).abs() < 1e-9);
+        assert!((two - 2.0 * one).abs() < 1e-9, "case {case}");
     }
 }

@@ -196,12 +196,7 @@ mod tests {
     use crate::sequential::{apriori, SequentialConfig};
 
     fn toy() -> Vec<Vec<Item>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     #[test]

@@ -46,7 +46,5 @@ pub use rules::{generate_rules, Rule, RuleConfig};
 pub use sequential::{apriori, brute_force, SequentialConfig};
 pub use son::{Son, SonConfig};
 pub use summarize::{closed_itemsets, maximal_itemsets};
-pub use types::{
-    parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support,
-};
+pub use types::{parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support};
 pub use yafim::{mine_in_memory, Yafim, YafimConfig};

@@ -339,7 +339,11 @@ impl MrApriori {
             }
             let found: usize = new_levels.iter().map(Vec::len).sum();
 
-            metrics.record_span(EventKind::Iteration, format!("pass {next_pass}"), pass_start);
+            metrics.record_span(
+                EventKind::Iteration,
+                format!("pass {next_pass}"),
+                pass_start,
+            );
             passes.push(PassTiming {
                 pass: next_pass,
                 seconds: metrics.now().since(pass_start).as_secs(),
@@ -362,7 +366,14 @@ impl MrApriori {
             if stop || found == 0 {
                 break;
             }
-            next_pass = levels.last().expect("non-empty").first().expect("non-empty").0.len() + 1;
+            next_pass = levels
+                .last()
+                .expect("non-empty")
+                .first()
+                .expect("non-empty")
+                .0
+                .len()
+                + 1;
         }
 
         Ok(MinerRun {
@@ -420,12 +431,7 @@ mod tests {
     }
 
     fn toy() -> Vec<Vec<Item>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     fn put(cluster: &SimCluster, tx: &[Vec<Item>]) -> String {
@@ -505,7 +511,9 @@ mod tests {
         let c = cluster();
         let path = put(&c, &toy());
         let mut cfg = MrAprioriConfig::new(Support::Count(2));
-        cfg.variant = MrVariant::Dpc { max_candidates: 100 };
+        cfg.variant = MrVariant::Dpc {
+            max_candidates: 100,
+        };
         let dpc = MrApriori::new(c, cfg).mine(&path).unwrap();
         let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
         assert_eq!(dpc.result, seq);

@@ -128,11 +128,8 @@ impl Pfp {
             let mut out = Vec::new();
             let mut work = 0u64;
             for t in txs {
-                let mut sorted: Vec<Item> = t
-                    .iter()
-                    .copied()
-                    .filter(|i| rank.contains_key(i))
-                    .collect();
+                let mut sorted: Vec<Item> =
+                    t.iter().copied().filter(|i| rank.contains_key(i)).collect();
                 sorted.sort_by_key(|i| rank[i]);
                 work += sorted.len() as u64;
                 let mut emitted = yafim_cluster::FxHashSet::default();
@@ -149,28 +146,29 @@ impl Pfp {
 
         // ---- step 4: per-group local FP-Growth ----
         let rank_for_mining = bc.value();
-        let mined: Rdd<(Itemset, u64)> = shards.group_by_key().map_partitions(move |entries, tc| {
-            let rank: FxHashMap<Item, u32> = rank_for_mining.iter().copied().collect();
-            let mut out = Vec::new();
-            for (g, shard) in entries {
-                let local = fp_growth(shard, Support::Count(min_sup));
-                // FP-tree construction + mining effort estimate.
-                let volume: u64 = shard.iter().map(|t| t.len() as u64).sum();
-                tc.add_cpu((volume + local.total() as u64) * JVM_TREE_VISIT_UNITS);
-                for (set, sup) in local.iter() {
-                    let bottom = set
-                        .items()
-                        .iter()
-                        .map(|i| rank[i])
-                        .max()
-                        .expect("itemsets are non-empty");
-                    if bottom % groups == *g {
-                        out.push((set.clone(), *sup));
+        let mined: Rdd<(Itemset, u64)> =
+            shards.group_by_key().map_partitions(move |entries, tc| {
+                let rank: FxHashMap<Item, u32> = rank_for_mining.iter().copied().collect();
+                let mut out = Vec::new();
+                for (g, shard) in entries {
+                    let local = fp_growth(shard, Support::Count(min_sup));
+                    // FP-tree construction + mining effort estimate.
+                    let volume: u64 = shard.iter().map(|t| t.len() as u64).sum();
+                    tc.add_cpu((volume + local.total() as u64) * JVM_TREE_VISIT_UNITS);
+                    for (set, sup) in local.iter() {
+                        let bottom = set
+                            .items()
+                            .iter()
+                            .map(|i| rank[i])
+                            .max()
+                            .expect("itemsets are non-empty");
+                        if bottom % groups == *g {
+                            out.push((set.clone(), *sup));
+                        }
                     }
                 }
-            }
-            out
-        });
+                out
+            });
 
         let all = mined.collect();
         transactions.unpersist();
@@ -222,12 +220,7 @@ mod tests {
     }
 
     fn toy() -> Vec<Vec<u32>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     #[test]
@@ -242,8 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn pfp_group_count_does_not_change_results(
-    ) {
+    fn pfp_group_count_does_not_change_results() {
         let tx: Vec<Vec<u32>> = toy().into_iter().cycle().take(60).collect();
         let seq = apriori(&tx, &SequentialConfig::new(Support::Fraction(0.4)));
         for groups in [1usize, 2, 3, 7] {

@@ -136,12 +136,7 @@ mod tests {
     use crate::types::Support;
 
     fn toy_result() -> (MiningResult, u64) {
-        let tx = vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ];
+        let tx = vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]];
         (
             apriori(&tx, &SequentialConfig::new(Support::Count(2))),
             tx.len() as u64,

@@ -106,7 +106,11 @@ pub fn apriori(transactions: &[Vec<Item>], config: &SequentialConfig) -> MiningR
 /// Exhaustive miner for tests: count *every* subset of every transaction up
 /// to length `max_len`. Exponential; only usable on tiny inputs, but
 /// obviously correct.
-pub fn brute_force(transactions: &[Vec<Item>], min_support: Support, max_len: usize) -> MiningResult {
+pub fn brute_force(
+    transactions: &[Vec<Item>],
+    min_support: Support,
+    max_len: usize,
+) -> MiningResult {
     let min_sup = min_support.resolve(transactions.len() as u64);
     let mut counts: FxHashMap<Itemset, u64> = FxHashMap::default();
     for t in transactions {
@@ -117,7 +121,10 @@ pub fn brute_force(transactions: &[Vec<Item>], min_support: Support, max_len: us
             if (mask.count_ones() as usize) > max_len {
                 continue;
             }
-            let items: Vec<Item> = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| t[i]).collect();
+            let items: Vec<Item> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| t[i])
+                .collect();
             *counts.entry(Itemset::from_sorted(items)).or_insert(0) += 1;
         }
     }
@@ -136,12 +143,7 @@ mod tests {
 
     /// The worked example found in most Apriori texts.
     fn toy() -> Vec<Vec<Item>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     #[test]

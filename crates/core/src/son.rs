@@ -22,8 +22,7 @@
 use crate::eclat::eclat;
 use crate::hashtree::{HashTree, MatchScratch};
 use crate::types::{
-    parse_transaction, Itemset, MinerRun, MiningResult, PassTiming, Support,
-    JVM_TREE_VISIT_UNITS,
+    parse_transaction, Itemset, MinerRun, MiningResult, PassTiming, Support, JVM_TREE_VISIT_UNITS,
 };
 use std::sync::Arc;
 use yafim_cluster::{slice_bytes, DfsError, EventKind, SimCluster};
@@ -135,7 +134,11 @@ impl Son {
         let side_bytes = slice_bytes(&candidates);
 
         // One hash tree per candidate length.
-        let max_len = candidates.iter().map(Itemset::len).max().expect("non-empty");
+        let max_len = candidates
+            .iter()
+            .map(Itemset::len)
+            .max()
+            .expect("non-empty");
         let mut by_len: Vec<Vec<Itemset>> = vec![Vec::new(); max_len];
         for c in candidates {
             by_len[c.len() - 1].push(c);
@@ -226,12 +229,7 @@ mod tests {
     }
 
     fn toy() -> Vec<Vec<u32>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     #[test]

@@ -60,12 +60,7 @@ mod tests {
 
     fn toy_result() -> MiningResult {
         // {1,3,4}, {2,3,5}, {1,2,3,5}, {2,5} at minsup 2.
-        let tx = vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ];
+        let tx = vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]];
         apriori(&tx, &SequentialConfig::new(Support::Count(2)))
     }
 

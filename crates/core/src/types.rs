@@ -359,10 +359,7 @@ mod tests {
     #[test]
     fn mining_result_lookup() {
         let r = MiningResult::from_levels(vec![
-            vec![
-                (Itemset::single(2), 8),
-                (Itemset::single(1), 9),
-            ],
+            vec![(Itemset::single(2), 8), (Itemset::single(1), 9)],
             vec![(Itemset::new(vec![1, 2]), 5)],
             vec![],
         ]);

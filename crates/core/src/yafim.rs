@@ -152,12 +152,16 @@ impl Yafim {
             );
             let bc = ctx.broadcast(tree);
             let tree_for_tasks = bc.value();
+            let tree_bytes = bc.bytes();
 
             // Workers: count candidate occurrences over the cached
             // transactions. Matches are pre-aggregated per partition (as
             // Spark's reduceByKey map-side combine would), then shuffled.
             let counted: Vec<(u32, u64)> = transactions
                 .map_partitions(move |txs, tc| {
+                    // Each task reads the broadcast tree (already paid for
+                    // once, virtually, at broadcast time).
+                    tc.note_broadcast_read(tree_bytes);
                     let mut counts = vec![0u64; n_candidates];
                     let mut scratch = MatchScratch::default();
                     let mut visits = 0u64;
@@ -220,19 +224,10 @@ impl Yafim {
 
 /// Convenience: one-call YAFIM over an in-memory transaction list, writing
 /// it to the cluster's HDFS first (used by tests and examples).
-pub fn mine_in_memory(
-    ctx: &Context,
-    transactions: &[Vec<Item>],
-    config: YafimConfig,
-) -> MinerRun {
+pub fn mine_in_memory(ctx: &Context, transactions: &[Vec<Item>], config: YafimConfig) -> MinerRun {
     let lines: Vec<String> = transactions
         .iter()
-        .map(|t| {
-            t.iter()
-                .map(u32::to_string)
-                .collect::<Vec<_>>()
-                .join(" ")
-        })
+        .map(|t| t.iter().map(u32::to_string).collect::<Vec<_>>().join(" "))
         .collect();
     let path = format!("yafim-inmem-{}.dat", std::process::id());
     ctx.cluster().hdfs().put_overwrite(&path, lines);
@@ -269,12 +264,7 @@ mod tests {
     }
 
     fn toy() -> Vec<Vec<Item>> {
-        vec![
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]
+        vec![vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]
     }
 
     #[test]

@@ -83,10 +83,7 @@ fn full_support_fraction() {
 
 #[test]
 fn large_item_ids() {
-    let tx = vec![
-        vec![u32::MAX - 1, u32::MAX],
-        vec![u32::MAX - 1, u32::MAX],
-    ];
+    let tx = vec![vec![u32::MAX - 1, u32::MAX], vec![u32::MAX - 1, u32::MAX]];
     let r = assert_all_agree(&tx, Support::Count(2));
     assert_eq!(
         r.support_of(&Itemset::new(vec![u32::MAX - 1, u32::MAX])),

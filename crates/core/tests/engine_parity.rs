@@ -19,7 +19,11 @@ fn dataset() -> (Vec<Vec<u32>>, Support) {
 }
 
 fn cluster(nodes: u32, cores: u32) -> SimCluster {
-    SimCluster::with_threads(ClusterSpec::new(nodes, cores, 1 << 30), CostModel::hadoop_era(), 2)
+    SimCluster::with_threads(
+        ClusterSpec::new(nodes, cores, 1 << 30),
+        CostModel::hadoop_era(),
+        2,
+    )
 }
 
 #[test]
@@ -31,7 +35,9 @@ fn yafim_invariant_to_partition_count() {
         c.hdfs().put_overwrite("d.dat", to_lines(&tx));
         let mut cfg = YafimConfig::new(support);
         cfg.min_partitions = partitions;
-        let run = Yafim::new(Context::new(c), cfg).mine("d.dat").expect("written");
+        let run = Yafim::new(Context::new(c), cfg)
+            .mine("d.dat")
+            .expect("written");
         assert_eq!(reference, run.result, "partitions = {partitions}");
     }
 }
@@ -113,8 +119,13 @@ fn pfp_invariant_to_partitions_and_groups() {
         let mut cfg = PfpConfig::new(support);
         cfg.min_partitions = partitions;
         cfg.groups = groups;
-        let run = Pfp::new(Context::new(c), cfg).mine("d.dat").expect("written");
-        assert_eq!(reference, run.result, "partitions={partitions} groups={groups}");
+        let run = Pfp::new(Context::new(c), cfg)
+            .mine("d.dat")
+            .expect("written");
+        assert_eq!(
+            reference, run.result,
+            "partitions={partitions} groups={groups}"
+        );
     }
 }
 

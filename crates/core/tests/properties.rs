@@ -1,75 +1,89 @@
-//! Property-based tests (proptest) over the mining core.
+//! Randomized-but-deterministic tests over the mining core.
 //!
-//! Strategy: small random transaction databases and candidate sets, checked
+//! Strategy: small seeded transaction databases and candidate sets, checked
 //! against independent oracles — brute force, naive matchers, and the
 //! algebraic invariants of frequent itemset mining.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use yafim_core::candidates::{ap_gen, ap_gen_naive};
 use yafim_core::{
     apriori, brute_force, eclat, fp_growth, generate_rules, HashTree, Itemset, MatchScratch,
     RuleConfig, SequentialConfig, Support,
 };
+use yafim_data::rng::StdRng;
 
 /// A random transaction over a small universe: sorted, deduplicated,
 /// non-empty subsets of 0..12.
-fn transaction() -> impl Strategy<Value = Vec<u32>> {
-    vec(0u32..12, 1..8).prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup();
-        v
-    })
+fn transaction(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(1usize..8);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..12)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
-fn database() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    vec(transaction(), 1..24)
+fn database(rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let n = rng.gen_range(1usize..24);
+    (0..n).map(|_| transaction(rng)).collect()
 }
 
 /// A random candidate set of equal-length itemsets.
-fn candidate_set(k: usize) -> impl Strategy<Value = Vec<Itemset>> {
-    vec(vec(0u32..15, k..=k), 0..30).prop_map(move |raw| {
-        let mut seen = std::collections::HashSet::new();
-        raw.into_iter()
-            .map(Itemset::new)
-            .filter(|s| s.len() == k && seen.insert(s.clone()))
-            .collect()
-    })
+fn candidate_set(rng: &mut StdRng, k: usize) -> Vec<Itemset> {
+    let n = rng.gen_range(0usize..30);
+    let mut seen = std::collections::HashSet::new();
+    (0..n)
+        .map(|_| {
+            let raw: Vec<u32> = (0..k).map(|_| rng.gen_range(0u32..15)).collect();
+            Itemset::new(raw)
+        })
+        .filter(|s| s.len() == k && seen.insert(s.clone()))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn raw_items(rng: &mut StdRng, max_len: usize, universe: u32) -> Vec<u32> {
+    let n = rng.gen_range(0usize..max_len.max(1));
+    (0..n).map(|_| rng.gen_range(0u32..universe)).collect()
+}
 
-    #[test]
-    fn itemset_new_is_sorted_dedup(items in vec(0u32..100, 0..20)) {
+fn sorted_dedup(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+const CASES: usize = 64;
+
+#[test]
+fn itemset_new_is_sorted_dedup() {
+    let mut rng = StdRng::seed_from_u64(50);
+    for _ in 0..CASES {
+        let items = raw_items(&mut rng, 20, 100);
         let s = Itemset::new(items.clone());
-        prop_assert!(s.items().windows(2).all(|w| w[0] < w[1]));
+        assert!(s.items().windows(2).all(|w| w[0] < w[1]));
         for i in items {
-            prop_assert!(s.contains(i));
+            assert!(s.contains(i));
         }
     }
+}
 
-    #[test]
-    fn subset_test_matches_hashset_semantics(
-        a in vec(0u32..20, 0..8),
-        b in vec(0u32..20, 0..12),
-    ) {
+#[test]
+fn subset_test_matches_hashset_semantics() {
+    let mut rng = StdRng::seed_from_u64(51);
+    for _ in 0..CASES {
+        let a = raw_items(&mut rng, 8, 20);
+        let b = raw_items(&mut rng, 12, 20);
         let sub = Itemset::new(a);
-        let mut sup = b.clone();
-        sup.sort_unstable();
-        sup.dedup();
+        let sup = sorted_dedup(b);
         let expected = sub.items().iter().all(|i| sup.contains(i));
-        prop_assert_eq!(sub.is_subset_of_sorted(&sup), expected);
+        assert_eq!(sub.is_subset_of_sorted(&sup), expected);
     }
+}
 
-    #[test]
-    fn hash_tree_agrees_with_naive(
-        cands in candidate_set(3),
-        t in vec(0u32..15, 0..12),
-    ) {
-        let mut t = t;
-        t.sort_unstable();
-        t.dedup();
+#[test]
+fn hash_tree_agrees_with_naive() {
+    let mut rng = StdRng::seed_from_u64(52);
+    for _ in 0..CASES {
+        let cands = candidate_set(&mut rng, 3);
+        let t = sorted_dedup(raw_items(&mut rng, 12, 15));
         let tree = HashTree::build(cands);
         let mut fast = Vec::new();
         let mut scratch = MatchScratch::default();
@@ -77,98 +91,134 @@ proptest! {
         fast.sort_unstable();
         let mut naive = tree.matches_naive(&t);
         naive.sort_unstable();
-        prop_assert_eq!(fast, naive);
+        assert_eq!(fast, naive);
     }
+}
 
-    #[test]
-    fn hash_tree_never_double_counts(
-        cands in candidate_set(2),
-        t in vec(0u32..15, 0..12),
-    ) {
-        let mut t = t;
-        t.sort_unstable();
-        t.dedup();
+#[test]
+fn hash_tree_never_double_counts() {
+    let mut rng = StdRng::seed_from_u64(53);
+    for _ in 0..CASES {
+        let cands = candidate_set(&mut rng, 2);
+        let t = sorted_dedup(raw_items(&mut rng, 12, 15));
         let tree = HashTree::build(cands);
         let mut counts = vec![0u32; tree.len()];
         let mut scratch = MatchScratch::default();
         tree.for_each_match(&t, &mut scratch, |i| counts[i] += 1);
-        prop_assert!(counts.iter().all(|&c| c <= 1));
+        assert!(counts.iter().all(|&c| c <= 1));
     }
+}
 
-    #[test]
-    fn ap_gen_agrees_with_naive(cands in candidate_set(2)) {
+#[test]
+fn ap_gen_agrees_with_naive() {
+    let mut rng = StdRng::seed_from_u64(54);
+    for _ in 0..CASES {
+        let cands = candidate_set(&mut rng, 2);
         let (fast, _) = ap_gen(&cands);
-        prop_assert_eq!(fast, ap_gen_naive(&cands));
+        assert_eq!(fast, ap_gen_naive(&cands));
     }
+}
 
-    #[test]
-    fn ap_gen_output_has_length_k_plus_1(cands in candidate_set(3)) {
+#[test]
+fn ap_gen_output_has_length_k_plus_1() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for _ in 0..CASES {
+        let cands = candidate_set(&mut rng, 3);
         let (out, _) = ap_gen(&cands);
-        prop_assert!(out.iter().all(|s| s.len() == 4));
+        assert!(out.iter().all(|s| s.len() == 4));
         // Sorted and unique.
-        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    #[test]
-    fn apriori_equals_brute_force(db in database(), sup in 1u64..6) {
+#[test]
+fn apriori_equals_brute_force() {
+    let mut rng = StdRng::seed_from_u64(56);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let sup = rng.gen_range(1u64..6);
         let a = apriori(&db, &SequentialConfig::new(Support::Count(sup)));
         let b = brute_force(&db, Support::Count(sup), 8);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn three_miners_agree(db in database(), sup in 1u64..6) {
+#[test]
+fn three_miners_agree() {
+    let mut rng = StdRng::seed_from_u64(57);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let sup = rng.gen_range(1u64..6);
         let a = apriori(&db, &SequentialConfig::new(Support::Count(sup)));
         let e = eclat(&db, Support::Count(sup));
         let f = fp_growth(&db, Support::Count(sup));
-        prop_assert_eq!(&a, &e);
-        prop_assert_eq!(&a, &f);
+        assert_eq!(&a, &e);
+        assert_eq!(&a, &f);
     }
+}
 
-    #[test]
-    fn monotonicity_of_support(db in database(), sup in 1u64..5) {
+#[test]
+fn monotonicity_of_support() {
+    let mut rng = StdRng::seed_from_u64(58);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let sup = rng.gen_range(1u64..5);
         let r = apriori(&db, &SequentialConfig::new(Support::Count(sup)));
         for (set, s) in r.iter() {
-            prop_assert!(*s >= sup);
+            assert!(*s >= sup);
             for sub in set.one_item_removed() {
                 if sub.is_empty() {
                     continue;
                 }
                 let sub_sup = r.support_of(&sub);
-                prop_assert!(sub_sup.is_some(), "subset {sub} of {set} missing");
-                prop_assert!(sub_sup.expect("checked") >= *s);
+                assert!(sub_sup.is_some(), "subset {sub} of {set} missing");
+                assert!(sub_sup.expect("checked") >= *s);
             }
         }
     }
+}
 
-    #[test]
-    fn support_counts_are_exact(db in database(), sup in 1u64..5) {
+#[test]
+fn support_counts_are_exact() {
+    let mut rng = StdRng::seed_from_u64(59);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let sup = rng.gen_range(1u64..5);
         let r = apriori(&db, &SequentialConfig::new(Support::Count(sup)));
         for (set, s) in r.iter() {
             let actual = db.iter().filter(|t| set.is_subset_of_sorted(t)).count() as u64;
-            prop_assert_eq!(*s, actual, "support of {} wrong", set);
+            assert_eq!(*s, actual, "support of {} wrong", set);
         }
     }
+}
 
-    #[test]
-    fn raising_support_shrinks_results(db in database()) {
+#[test]
+fn raising_support_shrinks_results() {
+    let mut rng = StdRng::seed_from_u64(60);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let lo = apriori(&db, &SequentialConfig::new(Support::Count(1)));
         let hi = apriori(&db, &SequentialConfig::new(Support::Count(3)));
-        prop_assert!(hi.total() <= lo.total());
+        assert!(hi.total() <= lo.total());
         // Everything frequent at the high threshold is frequent at the low.
         for (set, s) in hi.iter() {
-            prop_assert_eq!(lo.support_of(set), Some(*s));
+            assert_eq!(lo.support_of(set), Some(*s));
         }
     }
+}
 
-    #[test]
-    fn rules_are_consistent(db in database(), conf in 0.0f64..1.0) {
+#[test]
+fn rules_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(61);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let conf: f64 = rng.gen();
         let r = apriori(&db, &SequentialConfig::new(Support::Count(1)));
         let rules = generate_rules(&r, db.len() as u64, &RuleConfig::new(conf));
         for rule in rules {
-            prop_assert!(rule.confidence >= conf - 1e-9);
-            prop_assert!(rule.confidence <= 1.0 + 1e-9);
-            prop_assert!(rule.lift > 0.0);
+            assert!(rule.confidence >= conf - 1e-9);
+            assert!(rule.confidence <= 1.0 + 1e-9);
+            assert!(rule.lift > 0.0);
             // support(A ∪ B) really is the rule's support.
             let joint: Itemset = rule
                 .antecedent
@@ -177,18 +227,25 @@ proptest! {
                 .chain(rule.consequent.items())
                 .copied()
                 .collect();
-            prop_assert_eq!(r.support_of(&joint), Some(rule.support));
+            assert_eq!(r.support_of(&joint), Some(rule.support));
         }
     }
+}
 
-    #[test]
-    fn condensed_representations_are_sound(db in database(), sup in 1u64..5) {
+#[test]
+fn condensed_representations_are_sound() {
+    let mut rng = StdRng::seed_from_u64(62);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let sup = rng.gen_range(1u64..5);
         let r = apriori(&db, &SequentialConfig::new(Support::Count(sup)));
         let maximal = yafim_core::maximal_itemsets(&r);
         let closed = yafim_core::closed_itemsets(&r);
         // Coverage: every frequent itemset under some maximal one.
         for (set, _) in r.iter() {
-            prop_assert!(maximal.iter().any(|(m, _)| set.is_subset_of_sorted(m.items())));
+            assert!(maximal
+                .iter()
+                .any(|(m, _)| set.is_subset_of_sorted(m.items())));
         }
         // Support recovery: max support over closed supersets is exact.
         for (set, s) in r.iter() {
@@ -197,25 +254,29 @@ proptest! {
                 .filter(|(c, _)| set.is_subset_of_sorted(c.items()))
                 .map(|(_, cs)| *cs)
                 .max();
-            prop_assert_eq!(derived, Some(*s));
+            assert_eq!(derived, Some(*s));
         }
         // Antichain property of the maximal family.
         for (i, (a, _)) in maximal.iter().enumerate() {
             for (b, _) in maximal.iter().skip(i + 1) {
-                prop_assert!(!a.is_subset_of_sorted(b.items()));
-                prop_assert!(!b.is_subset_of_sorted(a.items()));
+                assert!(!a.is_subset_of_sorted(b.items()));
+                assert!(!b.is_subset_of_sorted(a.items()));
             }
         }
     }
+}
 
-    #[test]
-    fn fraction_and_count_supports_agree(db in database()) {
+#[test]
+fn fraction_and_count_supports_agree() {
+    let mut rng = StdRng::seed_from_u64(63);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let n = db.len() as u64;
         let frac = apriori(&db, &SequentialConfig::new(Support::Fraction(0.5)));
         let count = apriori(
             &db,
             &SequentialConfig::new(Support::Count((n as f64 * 0.5).ceil() as u64)),
         );
-        prop_assert_eq!(frac, count);
+        assert_eq!(frac, count);
     }
 }

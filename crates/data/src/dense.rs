@@ -12,9 +12,8 @@
 //! with per-attribute dominant-value probabilities plus a latent class (the
 //! mushroom edible/poisonous split) that correlates class-linked attributes.
 
+use crate::rng::StdRng;
 use crate::Transaction;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the dense categorical generator.
 #[derive(Clone, Debug)]
@@ -40,7 +39,10 @@ impl DenseConfig {
     /// Distribute `items` over `attributes` as evenly as possible
     /// (each attribute gets at least 2 values).
     pub fn values_for(attributes: usize, items: u32) -> Vec<u32> {
-        assert!(items >= 2 * attributes as u32, "need ≥2 values per attribute");
+        assert!(
+            items >= 2 * attributes as u32,
+            "need ≥2 values per attribute"
+        );
         let base = items / attributes as u32;
         let extra = (items % attributes as u32) as usize;
         (0..attributes)

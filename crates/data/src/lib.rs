@@ -31,6 +31,7 @@ pub mod io;
 pub mod medical;
 pub mod profiles;
 pub mod quest;
+pub mod rng;
 
 pub use dense::{DenseConfig, DenseGenerator};
 pub use io::{from_lines, read_dat, replicate, to_lines, write_dat};

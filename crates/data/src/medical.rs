@@ -14,9 +14,8 @@
 //! probability and medications with moderate probability, then adds uniform
 //! noise entities.
 
+use crate::rng::StdRng;
 use crate::{Item, Transaction};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the medical-case generator.
 #[derive(Clone, Debug)]

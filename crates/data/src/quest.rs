@@ -8,9 +8,8 @@
 //! sampling weighted patterns, corrupting each (dropping a random suffix
 //! fraction), and topping up with uniform noise items.
 
+use crate::rng::StdRng;
 use crate::{Item, Transaction};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the Quest generator. `T10I4D100K` in Quest naming means
 /// `avg_transaction_len = 10`, `avg_pattern_len = 4`, 100k transactions.

@@ -62,7 +62,10 @@ fn quest_profile_is_sparse_but_patterned() {
     // Sparse overall…
     assert!(top < 0.2, "T10I4D100K is a sparse dataset, top pair {top}");
     // …but with planted patterns well above its 0.25% threshold.
-    assert!(top >= 0.0025 * 4.0, "patterns must clear the threshold, top {top}");
+    assert!(
+        top >= 0.0025 * 4.0,
+        "patterns must clear the threshold, top {top}"
+    );
     let s = stats(&tx);
     assert!(s.avg_len > 8.0 && s.avg_len < 14.0);
 }

@@ -1,45 +1,56 @@
-//! Property-based tests over the dataset substrate: every generator must
-//! produce valid transactions for any (bounded) configuration, and the
-//! `.dat` text round trip must be lossless.
+//! Randomized-but-deterministic tests over the dataset substrate: every
+//! generator must produce valid transactions for any (bounded)
+//! configuration, and the `.dat` text round trip must be lossless.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use yafim_data::rng::StdRng;
 use yafim_data::{
-    from_lines, replicate, stats, to_lines, validate, DenseConfig, DenseGenerator,
-    MedicalConfig, MedicalGenerator, QuestConfig, QuestGenerator,
+    from_lines, replicate, stats, to_lines, validate, DenseConfig, DenseGenerator, MedicalConfig,
+    MedicalGenerator, QuestConfig, QuestGenerator,
 };
 
-fn sorted_tx() -> impl Strategy<Value = Vec<u32>> {
-    vec(0u32..1000, 1..30).prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup();
-        v
-    })
+fn sorted_tx(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(1usize..30);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1000)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn tx_set(rng: &mut StdRng, max: usize) -> Vec<Vec<u32>> {
+    let n = rng.gen_range(0usize..max.max(1));
+    (0..n).map(|_| sorted_tx(rng)).collect()
+}
 
-    #[test]
-    fn dat_roundtrip_is_lossless(tx in vec(sorted_tx(), 0..40)) {
-        prop_assert_eq!(from_lines(&to_lines(&tx)), tx);
+#[test]
+fn dat_roundtrip_is_lossless() {
+    let mut rng = StdRng::seed_from_u64(40);
+    for _ in 0..64 {
+        let tx = tx_set(&mut rng, 40);
+        assert_eq!(from_lines(&to_lines(&tx)), tx);
     }
+}
 
-    #[test]
-    fn replicate_concatenates(tx in vec(sorted_tx(), 0..20), times in 1usize..5) {
+#[test]
+fn replicate_concatenates() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..64 {
+        let tx = tx_set(&mut rng, 20);
+        let times = rng.gen_range(1usize..5);
         let r = replicate(&tx, times);
-        prop_assert_eq!(r.len(), tx.len() * times);
+        assert_eq!(r.len(), tx.len() * times);
         for (i, t) in r.iter().enumerate() {
-            prop_assert_eq!(t, &tx[i % tx.len().max(1)]);
+            assert_eq!(t, &tx[i % tx.len().max(1)]);
         }
     }
+}
 
-    #[test]
-    fn quest_generator_is_valid_and_deterministic(
-        transactions in 1usize..200,
-        items in 10u32..300,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn quest_generator_is_valid_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..32 {
+        let transactions = rng.gen_range(1usize..200);
+        let items = rng.gen_range(10u32..300);
+        let seed: u64 = rng.gen();
         let cfg = QuestConfig {
             transactions,
             items,
@@ -52,18 +63,20 @@ proptest! {
         };
         let a = QuestGenerator::new(cfg.clone()).generate();
         let b = QuestGenerator::new(cfg).generate();
-        prop_assert_eq!(&a, &b, "same seed, same data");
-        prop_assert_eq!(a.len(), transactions);
-        prop_assert!(validate(&a, items).is_ok());
+        assert_eq!(&a, &b, "same seed, same data");
+        assert_eq!(a.len(), transactions);
+        assert!(validate(&a, items).is_ok());
     }
+}
 
-    #[test]
-    fn dense_generator_is_valid_fixed_width(
-        transactions in 1usize..200,
-        attrs in 2usize..12,
-        extra_values in 0u32..30,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dense_generator_is_valid_fixed_width() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..32 {
+        let transactions = rng.gen_range(1usize..200);
+        let attrs = rng.gen_range(2usize..12);
+        let extra_values = rng.gen_range(0u32..30);
+        let seed: u64 = rng.gen();
         let items = attrs as u32 * 2 + extra_values;
         let cfg = DenseConfig {
             transactions,
@@ -75,17 +88,19 @@ proptest! {
         };
         let g = DenseGenerator::new(cfg);
         let tx = g.generate();
-        prop_assert_eq!(tx.len(), transactions);
-        prop_assert!(validate(&tx, g.num_items()).is_ok());
-        prop_assert!(tx.iter().all(|t| t.len() == attrs));
+        assert_eq!(tx.len(), transactions);
+        assert!(validate(&tx, g.num_items()).is_ok());
+        assert!(tx.iter().all(|t| t.len() == attrs));
     }
+}
 
-    #[test]
-    fn medical_generator_is_valid(
-        cases in 1usize..150,
-        entities in 20u32..400,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn medical_generator_is_valid() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..32 {
+        let cases = rng.gen_range(1usize..150);
+        let entities = rng.gen_range(20u32..400);
+        let seed: u64 = rng.gen();
         let cfg = MedicalConfig {
             cases,
             entities,
@@ -98,17 +113,24 @@ proptest! {
             seed,
         };
         let tx = MedicalGenerator::new(cfg).generate();
-        prop_assert_eq!(tx.len(), cases);
-        prop_assert!(validate(&tx, entities).is_ok());
+        assert_eq!(tx.len(), cases);
+        assert!(validate(&tx, entities).is_ok());
     }
+}
 
-    #[test]
-    fn stats_are_consistent(tx in vec(sorted_tx(), 1..30)) {
+#[test]
+fn stats_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(45);
+    for _ in 0..64 {
+        let mut tx = tx_set(&mut rng, 30);
+        if tx.is_empty() {
+            tx.push(sorted_tx(&mut rng));
+        }
         let s = stats(&tx);
-        prop_assert_eq!(s.transactions, tx.len());
+        assert_eq!(s.transactions, tx.len());
         let total: usize = tx.iter().map(Vec::len).sum();
-        prop_assert!((s.avg_len - total as f64 / tx.len() as f64).abs() < 1e-9);
+        assert!((s.avg_len - total as f64 / tx.len() as f64).abs() < 1e-9);
         let max_item = tx.iter().flatten().max().copied().unwrap_or(0);
-        prop_assert!(s.distinct_items <= max_item as usize + 1);
+        assert!(s.distinct_items <= max_item as usize + 1);
     }
 }

@@ -79,10 +79,7 @@ impl<KM: MrKey, VM: MrValue, KO: MrValue, VO: MrValue> MapReduceJob<KM, VM, KO, 
         name: impl Into<String>,
         input: impl Into<String>,
         mapper: impl Fn(u64, &str, &mut Emitter<KM, VM>, &mut WorkCounters) + Send + Sync + 'static,
-        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters)
-            + Send
-            + Sync
-            + 'static,
+        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters) + Send + Sync + 'static,
     ) -> Self {
         MapReduceJob {
             name: name.into(),
@@ -102,14 +99,8 @@ impl<KM: MrKey, VM: MrValue, KO: MrValue, VO: MrValue> MapReduceJob<KM, VM, KO, 
     pub fn new_per_split(
         name: impl Into<String>,
         input: impl Into<String>,
-        mapper: impl Fn(u64, &[String], &mut Emitter<KM, VM>, &mut WorkCounters)
-            + Send
-            + Sync
-            + 'static,
-        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters)
-            + Send
-            + Sync
-            + 'static,
+        mapper: impl Fn(u64, &[String], &mut Emitter<KM, VM>, &mut WorkCounters) + Send + Sync + 'static,
+        reducer: impl Fn(&KM, Vec<VM>, &mut Emitter<KO, VO>, &mut WorkCounters) + Send + Sync + 'static,
     ) -> Self {
         MapReduceJob {
             name: name.into(),

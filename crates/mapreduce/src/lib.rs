@@ -79,7 +79,9 @@ mod tests {
     #[test]
     fn combiner_gives_same_result() {
         let c = cluster();
-        let lines: Vec<String> = (0..200).map(|i| format!("w{} w{} w0", i % 5, i % 3)).collect();
+        let lines: Vec<String> = (0..200)
+            .map(|i| format!("w{} w{} w0", i % 5, i % 3))
+            .collect();
         c.hdfs().put("in.txt", lines).unwrap();
         let runner = MrRunner::new(c.clone());
 
@@ -129,8 +131,10 @@ mod tests {
         let c = cluster();
         c.hdfs().put("in.txt", vec!["x y x".to_string()]).unwrap();
         let runner = MrRunner::new(c.clone());
-        let job = word_count_job("in.txt")
-            .with_output("out/part", Arc::new(|k: &String, v: &u64| format!("{k}\t{v}")));
+        let job = word_count_job("in.txt").with_output(
+            "out/part",
+            Arc::new(|k: &String, v: &u64| format!("{k}\t{v}")),
+        );
         let result = runner.run(job).unwrap();
         let f = result.output_file.expect("output file");
         assert!(c.hdfs().exists("out/part"));

@@ -6,8 +6,8 @@ use crate::job::{MapReduceJob, MrKey, MrValue};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use yafim_cluster::{
-    bucket_of, slice_bytes, DfsError, DfsFile, EventKind, SimCluster, SimDuration, TaskSpec,
-    WorkCounters,
+    bucket_of, slice_bytes, DfsError, DfsFile, EventKind, SimCluster, SimDuration, StageExecution,
+    TaskExecution, TaskProfile, TaskSpec, WorkCounters,
 };
 
 /// Aggregate facts about one executed job.
@@ -66,7 +66,7 @@ impl MrRunner {
         let metrics = cluster.metrics().clone();
         let file = cluster.hdfs().get(&job.input)?;
 
-        let job_start = metrics.now();
+        let job_span = metrics.begin_job(job.name.clone());
         metrics.advance(SimDuration::from_secs(cost.mr_job_overhead));
 
         // Distributed-cache localization: every node pulls the side data
@@ -103,92 +103,113 @@ impl MrRunner {
         let file_for_tasks = file.clone();
         let splits_for_tasks = splits.clone();
 
-        type MapOut<KM, VM> = (Vec<Vec<(KM, VM)>>, WorkCounters);
-        let map_outs: Vec<MapOut<KM, VM>> = cluster.pool().map(
-            (0..map_tasks).collect::<Vec<usize>>(),
-            move |_, i| {
-                let split = &splits_for_tasks[i];
-                let mut w = WorkCounters::new();
-                w.add_disk_read(split.bytes); // locality-scheduled: local read
-                if side_bytes > 0 {
-                    w.add_disk_read(side_bytes); // localized cache file
-                }
+        type MapOut<KM, VM> = (Vec<Vec<(KM, VM)>>, TaskProfile);
+        let map_outs: Vec<MapOut<KM, VM>> =
+            cluster
+                .pool()
+                .map((0..map_tasks).collect::<Vec<usize>>(), move |_, i| {
+                    let split = &splits_for_tasks[i];
+                    let mut w = WorkCounters::new();
+                    w.add_disk_read(split.bytes); // locality-scheduled: local read
+                    if side_bytes > 0 {
+                        w.add_disk_read(side_bytes); // localized cache file
+                    }
 
-                let mut em = Emitter::new();
-                let lines = &file_for_tasks.lines()[split.lines.clone()];
-                match &mapper {
-                    crate::job::MapPhase::PerLine(f) => {
-                        for (j, line) in lines.iter().enumerate() {
-                            w.add_records_in(1);
-                            f((split.lines.start + j) as u64, line, &mut em, &mut w);
+                    let mut em = Emitter::new();
+                    let lines = &file_for_tasks.lines()[split.lines.clone()];
+                    match &mapper {
+                        crate::job::MapPhase::PerLine(f) => {
+                            for (j, line) in lines.iter().enumerate() {
+                                w.add_records_in(1);
+                                f((split.lines.start + j) as u64, line, &mut em, &mut w);
+                            }
+                        }
+                        crate::job::MapPhase::PerSplit(f) => {
+                            w.add_records_in(lines.len() as u64);
+                            f(split.lines.start as u64, lines, &mut em, &mut w);
                         }
                     }
-                    crate::job::MapPhase::PerSplit(f) => {
-                        w.add_records_in(lines.len() as u64);
-                        f(split.lines.start as u64, lines, &mut em, &mut w);
-                    }
-                }
-                let mut pairs = em.into_pairs();
-                w.add_records_out(pairs.len() as u64);
+                    let mut pairs = em.into_pairs();
+                    w.add_records_out(pairs.len() as u64);
 
-                // Optional combine: group map-local values per key.
-                if let Some(comb) = &combiner {
-                    let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
+                    // Optional combine: group map-local values per key.
+                    if let Some(comb) = &combiner {
+                        let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
+                        for (k, v) in pairs {
+                            groups.entry(k).or_default().push(v);
+                        }
+                        w.add_cpu(groups.len() as u64);
+                        pairs = groups
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let v = comb(&k, vs);
+                                (k, v)
+                            })
+                            .collect();
+                    } else {
+                        // Hadoop sorts map output by key either way.
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
+                    let n = pairs.len() as u64;
+                    w.add_cpu(n * (64 - n.leading_zeros() as u64)); // sort comparisons
+
+                    // Partition into reduce buckets.
+                    let mut buckets: Vec<Vec<(KM, VM)>> =
+                        (0..reduce_tasks).map(|_| Vec::new()).collect();
                     for (k, v) in pairs {
-                        groups.entry(k).or_default().push(v);
+                        buckets[bucket_of(&k, reduce_tasks)].push((k, v));
                     }
-                    w.add_cpu(groups.len() as u64);
-                    pairs = groups
-                        .into_iter()
-                        .map(|(k, vs)| {
-                            let v = comb(&k, vs);
-                            (k, v)
-                        })
-                        .collect();
-                } else {
-                    // Hadoop sorts map output by key either way.
-                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                }
-                let n = pairs.len() as u64;
-                w.add_cpu(n * (64 - n.leading_zeros() as u64)); // sort comparisons
+                    let bytes: u64 = buckets.iter().map(|b| slice_bytes(b)).sum();
+                    w.add_ser(bytes);
+                    // Spill traffic: write the sorted runs, read them back for
+                    // the merge.
+                    let spill = (bytes as f64 * spill_factor / 2.0) as u64;
+                    w.add_disk_write(spill);
+                    w.add_disk_read(spill);
 
-                // Partition into reduce buckets.
-                let mut buckets: Vec<Vec<(KM, VM)>> =
-                    (0..reduce_tasks).map(|_| Vec::new()).collect();
-                for (k, v) in pairs {
-                    buckets[bucket_of(&k, reduce_tasks)].push((k, v));
-                }
-                let bytes: u64 = buckets.iter().map(|b| slice_bytes(b)).sum();
-                w.add_ser(bytes);
-                // Spill traffic: write the sorted runs, read them back for
-                // the merge.
-                let spill = (bytes as f64 * spill_factor / 2.0) as u64;
-                w.add_disk_write(spill);
-                w.add_disk_read(spill);
-
-                (buckets, w)
-            },
-        );
+                    let profile = TaskProfile {
+                        work: w,
+                        shuffle_write_bytes: bytes,
+                        broadcast_read_bytes: side_bytes,
+                        ..TaskProfile::new()
+                    };
+                    (buckets, profile)
+                });
 
         // Charge the map wave.
-        let mut merged = WorkCounters::new();
         let task_specs: Vec<TaskSpec> = map_outs
             .iter()
             .zip(&splits)
-            .map(|((_, w), split)| {
-                merged.merge(w);
+            .map(|((_, p), split)| {
                 TaskSpec::local(
-                    SimDuration::from_secs(cost.mr_task_overhead) + w.data_time(&cost),
+                    SimDuration::from_secs(cost.mr_task_overhead) + p.work.data_time(&cost),
                     split.preferred_node,
                 )
             })
             .collect();
-        let outcome = cluster.scheduler().schedule(&task_specs);
-        let map_time =
-            outcome.makespan + SimDuration::from_secs(cost.mr_wave_latency) * outcome.waves as f64;
-        metrics.advance_with_event(map_time, EventKind::Stage, format!("{}: map", job.name));
-        metrics.count_stage();
-        metrics.count_tasks(map_tasks as u64, &merged);
+        let detailed = cluster.scheduler().schedule_detailed(&task_specs);
+        metrics.record_stage(StageExecution {
+            label: format!("{}: map", job.name),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            // Each map wave ends on a heartbeat boundary.
+            trailing: SimDuration::from_secs(cost.mr_wave_latency) * detailed.outcome.waves as f64,
+            tasks: detailed
+                .placements
+                .iter()
+                .zip(&map_outs)
+                .enumerate()
+                .map(|(i, (pl, (_, p)))| TaskExecution {
+                    partition: i,
+                    node: pl.node,
+                    core: pl.core,
+                    start: pl.start,
+                    duration: pl.duration,
+                    profile: *p,
+                })
+                .collect(),
+        });
 
         // ---- shuffle: concatenate buckets in map-task order ----
         let mut buckets: Vec<Vec<(KM, VM)>> = (0..reduce_tasks).map(|_| Vec::new()).collect();
@@ -210,66 +231,87 @@ impl MrRunner {
         let buckets = Arc::new(buckets);
         let bucket_bytes_arc = Arc::new(bucket_bytes);
 
-        type ReduceOut<KO, VO> = (Vec<(KO, VO)>, Vec<String>, WorkCounters);
-        let reduce_outs: Vec<ReduceOut<KO, VO>> = cluster.pool().map(
-            (0..reduce_tasks).collect::<Vec<usize>>(),
-            move |_, r| {
-                let mut w = WorkCounters::new();
-                let bytes = bucket_bytes_arc[r];
-                let local = bytes / nodes.max(1);
-                w.add_disk_read(local);
-                w.add_net(bytes - local);
-                w.add_ser(bytes);
+        type ReduceOut<KO, VO> = (Vec<(KO, VO)>, Vec<String>, TaskProfile);
+        let reduce_outs: Vec<ReduceOut<KO, VO>> =
+            cluster
+                .pool()
+                .map((0..reduce_tasks).collect::<Vec<usize>>(), move |_, r| {
+                    let mut w = WorkCounters::new();
+                    let bytes = bucket_bytes_arc[r];
+                    let local = bytes / nodes.max(1);
+                    w.add_disk_read(local);
+                    w.add_net(bytes - local);
+                    w.add_ser(bytes);
 
-                let bucket = &buckets[r];
-                w.add_records_in(bucket.len() as u64);
-                let n = bucket.len() as u64;
-                w.add_cpu(n * (64 - n.leading_zeros() as u64)); // merge sort
+                    let bucket = &buckets[r];
+                    w.add_records_in(bucket.len() as u64);
+                    let n = bucket.len() as u64;
+                    w.add_cpu(n * (64 - n.leading_zeros() as u64)); // merge sort
 
-                let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
-                for (k, v) in bucket.iter() {
-                    groups.entry(k.clone()).or_default().push(v.clone());
-                }
-
-                let mut em = Emitter::new();
-                for (k, vs) in groups {
-                    reducer(&k, vs, &mut em, &mut w);
-                }
-                let pairs = em.into_pairs();
-                w.add_records_out(pairs.len() as u64);
-
-                let mut lines = Vec::new();
-                if let Some(fmt) = &format {
-                    lines.reserve(pairs.len());
-                    let mut out_bytes = 0u64;
-                    for (k, v) in &pairs {
-                        let line = fmt(k, v);
-                        out_bytes += line.len() as u64 + 1;
-                        lines.push(line);
+                    let mut groups: BTreeMap<KM, Vec<VM>> = BTreeMap::new();
+                    for (k, v) in bucket.iter() {
+                        groups.entry(k.clone()).or_default().push(v.clone());
                     }
-                    // HDFS commit: local write plus pipeline replication.
-                    w.add_disk_write(out_bytes);
-                    w.add_net(out_bytes * (replication.saturating_sub(1)));
-                }
 
-                (pairs, lines, w)
-            },
-        );
+                    let mut em = Emitter::new();
+                    for (k, vs) in groups {
+                        reducer(&k, vs, &mut em, &mut w);
+                    }
+                    let pairs = em.into_pairs();
+                    w.add_records_out(pairs.len() as u64);
 
-        let mut merged = WorkCounters::new();
+                    let mut lines = Vec::new();
+                    if let Some(fmt) = &format {
+                        lines.reserve(pairs.len());
+                        let mut out_bytes = 0u64;
+                        for (k, v) in &pairs {
+                            let line = fmt(k, v);
+                            out_bytes += line.len() as u64 + 1;
+                            lines.push(line);
+                        }
+                        // HDFS commit: local write plus pipeline replication.
+                        w.add_disk_write(out_bytes);
+                        w.add_net(out_bytes * (replication.saturating_sub(1)));
+                    }
+
+                    let profile = TaskProfile {
+                        work: w,
+                        shuffle_read_bytes: bytes,
+                        ..TaskProfile::new()
+                    };
+                    (pairs, lines, profile)
+                });
+
         let task_specs: Vec<TaskSpec> = reduce_outs
             .iter()
-            .map(|(_, _, w)| {
-                merged.merge(w);
-                TaskSpec::anywhere(SimDuration::from_secs(cost.mr_task_overhead) + w.data_time(&cost))
+            .map(|(_, _, p)| {
+                TaskSpec::anywhere(
+                    SimDuration::from_secs(cost.mr_task_overhead) + p.work.data_time(&cost),
+                )
             })
             .collect();
-        let outcome = cluster.scheduler().schedule(&task_specs);
-        let reduce_time =
-            outcome.makespan + SimDuration::from_secs(cost.mr_wave_latency) * outcome.waves as f64;
-        metrics.advance_with_event(reduce_time, EventKind::Stage, format!("{}: reduce", job.name));
-        metrics.count_stage();
-        metrics.count_tasks(reduce_tasks as u64, &merged);
+        let detailed = cluster.scheduler().schedule_detailed(&task_specs);
+        metrics.record_stage(StageExecution {
+            label: format!("{}: reduce", job.name),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::from_secs(cost.mr_wave_latency) * detailed.outcome.waves as f64,
+            tasks: detailed
+                .placements
+                .iter()
+                .zip(&reduce_outs)
+                .enumerate()
+                .map(|(i, (pl, (_, _, p)))| TaskExecution {
+                    partition: i,
+                    node: pl.node,
+                    core: pl.core,
+                    start: pl.start,
+                    duration: pl.duration,
+                    profile: *p,
+                })
+                .collect(),
+        });
 
         // ---- commit & gather ----
         let mut pairs = Vec::new();
@@ -297,8 +339,7 @@ impl MrRunner {
         let result_bytes = slice_bytes(&pairs);
         metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
 
-        metrics.record_span(EventKind::Job, job.name.clone(), job_start);
-        metrics.count_job();
+        metrics.end_job(job_span);
 
         Ok(MrJobResult {
             pairs,

@@ -1,8 +1,7 @@
-//! Property-based tests over the MapReduce engine: job semantics must match
-//! the in-memory equivalents for arbitrary inputs and configurations.
+//! Randomized-but-deterministic tests over the MapReduce engine: job
+//! semantics must match the in-memory equivalents for arbitrary inputs and
+//! configurations.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::HashMap;
 use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
 use yafim_mapreduce::{Emitter, MapReduceJob, MrRunner};
@@ -11,25 +10,43 @@ fn cluster() -> SimCluster {
     SimCluster::with_threads(ClusterSpec::new(3, 2, 1 << 30), CostModel::hadoop_era(), 2)
 }
 
-/// Lines of small integer tokens.
-fn corpus() -> impl Strategy<Value = Vec<String>> {
-    vec(vec(0u32..20, 0..8), 0..40).prop_map(|rows| {
-        rows.into_iter()
-            .map(|r| {
-                r.into_iter()
-                    .map(|x| x.to_string())
+/// Tiny deterministic generator for test inputs (splitmix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Lines of small integer tokens.
+    fn corpus(&mut self) -> Vec<String> {
+        let rows = self.range(0, 40) as usize;
+        (0..rows)
+            .map(|_| {
+                let len = self.range(0, 8) as usize;
+                (0..len)
+                    .map(|_| self.range(0, 20).to_string())
                     .collect::<Vec<_>>()
                     .join(" ")
             })
             .collect()
-    })
+    }
 }
 
 fn expected_counts(lines: &[String]) -> HashMap<u32, u64> {
     let mut m = HashMap::new();
     for l in lines {
         for t in l.split_whitespace() {
-            *m.entry(t.parse::<u32>().expect("numeric token")).or_insert(0u64) += 1;
+            *m.entry(t.parse::<u32>().expect("numeric token"))
+                .or_insert(0u64) += 1;
         }
     }
     m
@@ -44,31 +61,37 @@ fn count_job(input: &str) -> MapReduceJob<u32, u64, u32, u64> {
                 em.emit(t.parse().expect("numeric token"), 1);
             }
         },
-        |k: &u32, vs: Vec<u64>, em: &mut Emitter<u32, u64>, _w| {
-            em.emit(*k, vs.into_iter().sum())
-        },
+        |k: &u32, vs: Vec<u64>, em: &mut Emitter<u32, u64>, _w| em.emit(*k, vs.into_iter().sum()),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 16;
 
-    #[test]
-    fn counting_matches_hashmap(lines in corpus(), reduce_tasks in 1usize..8) {
+#[test]
+fn counting_matches_hashmap() {
+    let mut rng = Rng(30);
+    for _ in 0..CASES {
+        let lines = rng.corpus();
+        let reduce_tasks = rng.range(1, 8) as usize;
         let c = cluster();
         c.hdfs().put_overwrite("in.txt", lines.clone());
         let result = MrRunner::new(c)
             .run(count_job("in.txt").with_reduce_tasks(reduce_tasks))
             .expect("input exists");
         let expected = expected_counts(&lines);
-        prop_assert_eq!(result.pairs.len(), expected.len());
+        assert_eq!(result.pairs.len(), expected.len());
         for (k, v) in result.pairs {
-            prop_assert_eq!(expected.get(&k), Some(&v));
+            assert_eq!(expected.get(&k), Some(&v));
         }
     }
+}
 
-    #[test]
-    fn combiner_never_changes_results(lines in corpus(), split_size in 16u64..512) {
+#[test]
+fn combiner_never_changes_results() {
+    let mut rng = Rng(31);
+    for _ in 0..CASES {
+        let lines = rng.corpus();
+        let split_size = rng.range(16, 512);
         let run = |with_combiner: bool| {
             let c = cluster();
             c.hdfs().put_overwrite("in.txt", lines.clone());
@@ -82,11 +105,16 @@ proptest! {
             pairs.sort();
             pairs
         };
-        prop_assert_eq!(run(false), run(true));
+        assert_eq!(run(false), run(true));
     }
+}
 
-    #[test]
-    fn per_split_mapper_equals_per_line_mapper(lines in corpus(), split_size in 16u64..512) {
+#[test]
+fn per_split_mapper_equals_per_line_mapper() {
+    let mut rng = Rng(32);
+    for _ in 0..CASES {
+        let lines = rng.corpus();
+        let split_size = rng.range(16, 512);
         let per_line = {
             let c = cluster();
             c.hdfs().put_overwrite("in.txt", lines.clone());
@@ -119,22 +147,32 @@ proptest! {
             p.sort();
             p
         };
-        prop_assert_eq!(per_line, per_split);
+        assert_eq!(per_line, per_split);
     }
+}
 
-    #[test]
-    fn virtual_time_deterministic(lines in corpus()) {
+#[test]
+fn virtual_time_deterministic() {
+    let mut rng = Rng(33);
+    for _ in 0..CASES {
+        let lines = rng.corpus();
         let run = || {
             let c = cluster();
             c.hdfs().put_overwrite("in.txt", lines.clone());
-            MrRunner::new(c.clone()).run(count_job("in.txt")).expect("input exists");
+            MrRunner::new(c.clone())
+                .run(count_job("in.txt"))
+                .expect("input exists");
             c.metrics().now().as_secs()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn reduce_task_count_only_affects_time(lines in corpus()) {
+#[test]
+fn reduce_task_count_only_affects_time() {
+    let mut rng = Rng(34);
+    for _ in 0..CASES {
+        let lines = rng.corpus();
         let run = |reduce_tasks: usize| {
             let c = cluster();
             c.hdfs().put_overwrite("in.txt", lines.clone());
@@ -145,6 +183,6 @@ proptest! {
             p.sort();
             p
         };
-        prop_assert_eq!(run(1), run(7));
+        assert_eq!(run(1), run(7));
     }
 }

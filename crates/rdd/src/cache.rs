@@ -15,9 +15,9 @@
 //! This is what makes the "memory utilization" discussion of the paper's
 //! §IV.B (and the cache ablation bench) observable.
 
-use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::Arc;
+use yafim_cluster::sync::Mutex;
 use yafim_cluster::{ClusterSpec, FxHashMap};
 
 /// How a cached partition behaves under memory pressure.
@@ -292,7 +292,14 @@ mod tests {
     }
 
     fn mem_put(c: &CacheManager, rdd: u64, part: usize, node: usize, bytes: u64) -> bool {
-        c.put(rdd, part, node, Arc::new(vec![0u8]), bytes, StorageLevel::MemoryOnly)
+        c.put(
+            rdd,
+            part,
+            node,
+            Arc::new(vec![0u8]),
+            bytes,
+            StorageLevel::MemoryOnly,
+        )
     }
 
     #[test]
@@ -325,7 +332,14 @@ mod tests {
     #[test]
     fn oversized_memory_and_disk_partition_goes_to_disk() {
         let c = mgr(10);
-        assert!(c.put(1, 0, 0, Arc::new(vec![7u8]), 100, StorageLevel::MemoryAndDisk));
+        assert!(c.put(
+            1,
+            0,
+            0,
+            Arc::new(vec![7u8]),
+            100,
+            StorageLevel::MemoryAndDisk
+        ));
         let (_, _, tier) = c.get::<u8>(1, 0).expect("disk hit");
         assert_eq!(tier, CacheTier::Disk);
         assert_eq!(c.stats().disk_entries, 1);
@@ -348,8 +362,22 @@ mod tests {
     #[test]
     fn memory_and_disk_spills_instead_of_dropping() {
         let c = mgr(100);
-        assert!(c.put(1, 0, 0, Arc::new(vec![1u8]), 60, StorageLevel::MemoryAndDisk));
-        assert!(c.put(1, 1, 0, Arc::new(vec![2u8]), 60, StorageLevel::MemoryAndDisk));
+        assert!(c.put(
+            1,
+            0,
+            0,
+            Arc::new(vec![1u8]),
+            60,
+            StorageLevel::MemoryAndDisk
+        ));
+        assert!(c.put(
+            1,
+            1,
+            0,
+            Arc::new(vec![2u8]),
+            60,
+            StorageLevel::MemoryAndDisk
+        ));
         // (1,0) was evicted to disk.
         let (_, _, tier0) = c.get::<u8>(1, 0).expect("spilled, not lost");
         assert_eq!(tier0, CacheTier::Disk);
@@ -400,8 +428,22 @@ mod tests {
     #[test]
     fn explicit_evict_clears_both_tiers() {
         let c = mgr(100);
-        c.put(1, 0, 0, Arc::new(vec![1u32]), 60, StorageLevel::MemoryAndDisk);
-        c.put(1, 1, 0, Arc::new(vec![2u32]), 60, StorageLevel::MemoryAndDisk);
+        c.put(
+            1,
+            0,
+            0,
+            Arc::new(vec![1u32]),
+            60,
+            StorageLevel::MemoryAndDisk,
+        );
+        c.put(
+            1,
+            1,
+            0,
+            Arc::new(vec![2u32]),
+            60,
+            StorageLevel::MemoryAndDisk,
+        );
         assert!(c.evict(1, 0), "spilled entry evictable");
         assert!(!c.evict(1, 0));
         assert!(c.get::<u32>(1, 0).is_none());

@@ -157,7 +157,9 @@ impl Context {
         let bytes = value.byte_size();
         let cluster = &self.inner.cluster;
         let cost = match self.inner.config.broadcast {
-            BroadcastMode::Torrent => cluster.cost().broadcast_torrent(bytes, cluster.spec().nodes),
+            BroadcastMode::Torrent => cluster
+                .cost()
+                .broadcast_torrent(bytes, cluster.spec().nodes),
             BroadcastMode::NaivePerTask => cluster
                 .cost()
                 .broadcast_naive(bytes, self.inner.config.default_parallelism),

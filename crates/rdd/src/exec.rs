@@ -17,18 +17,23 @@ use crate::shuffle::ShuffleStage;
 use crate::task::TaskContext;
 use std::sync::Arc;
 use yafim_cluster::{
-    slice_bytes, EventKind, NodeId, SimDuration, TaskSpec, WorkCounters,
+    slice_bytes, EventKind, NodeId, SimDuration, StageExecution, TaskExecution, TaskProfile,
+    TaskSpec,
 };
 
 /// A task body: partition index + task context → per-partition result.
 pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &mut TaskContext) -> R + Send + Sync>;
 
 /// Run one stage: `task` once per partition, real execution on the pool,
-/// virtual time charged to the cluster clock. Returns per-partition results
-/// in partition order.
+/// virtual time charged to the cluster clock. Every task is placed on a
+/// virtual node/core by the scheduler and recorded as a task span, parented
+/// to this stage (and to the enclosing job, if any). Returns per-partition
+/// results in partition order.
 pub(crate) fn run_stage<R: Send + 'static>(
     ctx: &Context,
     label: String,
+    kind: EventKind,
+    shuffle_id: Option<u64>,
     partitions: usize,
     preferred: Vec<Option<NodeId>>,
     task: TaskFn<R>,
@@ -38,36 +43,51 @@ pub(crate) fn run_stage<R: Send + 'static>(
     let spec = cluster.spec().clone();
 
     let preferred_for_tasks = preferred.clone();
-    let outcomes: Vec<(R, WorkCounters)> = cluster.pool().map(
-        (0..partitions).collect::<Vec<usize>>(),
-        move |_, part| {
-            let node = preferred_for_tasks[part].unwrap_or_else(|| spec.home_node(part));
-            let mut tc = TaskContext::new(part, node);
-            let r = task(part, &mut tc);
-            (r, tc.into_work())
-        },
-    );
+    let outcomes: Vec<(R, TaskProfile)> =
+        cluster
+            .pool()
+            .map((0..partitions).collect::<Vec<usize>>(), move |_, part| {
+                let node = preferred_for_tasks[part].unwrap_or_else(|| spec.home_node(part));
+                let mut tc = TaskContext::new(part, node);
+                let r = task(part, &mut tc);
+                (r, tc.into_profile())
+            });
 
     let cost = cluster.cost();
-    let mut merged = WorkCounters::new();
     let specs: Vec<TaskSpec> = outcomes
         .iter()
         .zip(&preferred)
-        .map(|((_, work), pref)| {
-            merged.merge(work);
-            TaskSpec {
-                duration: SimDuration::from_secs(cost.spark_task_overhead) + work.data_time(cost),
-                preferred_node: *pref,
-            }
+        .map(|((_, profile), pref)| TaskSpec {
+            duration: SimDuration::from_secs(cost.spark_task_overhead)
+                + profile.work.data_time(cost),
+            preferred_node: *pref,
         })
         .collect();
 
-    let outcome = cluster.scheduler().schedule(&specs);
-    let stage_time = SimDuration::from_secs(cost.spark_stage_overhead) + outcome.makespan;
-    let metrics = cluster.metrics();
-    metrics.advance_with_event(stage_time, EventKind::Stage, label);
-    metrics.count_stage();
-    metrics.count_tasks(partitions as u64, &merged);
+    let detailed = cluster.scheduler().schedule_detailed(&specs);
+    let tasks: Vec<TaskExecution> = detailed
+        .placements
+        .iter()
+        .zip(&outcomes)
+        .enumerate()
+        .map(|(part, (placement, (_, profile)))| TaskExecution {
+            partition: part,
+            node: placement.node,
+            core: placement.core,
+            start: placement.start,
+            duration: placement.duration,
+            profile: *profile,
+        })
+        .collect();
+
+    cluster.metrics().record_stage(StageExecution {
+        label,
+        kind,
+        shuffle_id,
+        overhead: SimDuration::from_secs(cost.spark_stage_overhead),
+        trailing: SimDuration::ZERO,
+        tasks,
+    });
 
     outcomes.into_iter().map(|(r, _)| r).collect()
 }
@@ -93,9 +113,12 @@ fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Vec<Arc<Vec<T>>> {
     let preferred: Vec<Option<NodeId>> = (0..partitions)
         .map(|p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
         .collect();
+    let shuffle_read = imp.shuffle_read_id();
     run_stage(
         &rdd.ctx,
         label,
+        EventKind::Stage,
+        shuffle_read,
         partitions,
         preferred,
         Arc::new(move |part, tc| materialize(&imp, part, tc)),
@@ -106,8 +129,10 @@ fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Vec<Arc<Vec<T>>> {
 pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
     let ctx = &rdd.ctx;
     let metrics = ctx.metrics().clone();
-    let start = metrics.now();
-    metrics.advance(SimDuration::from_secs(ctx.cluster().cost().spark_job_overhead));
+    let job = metrics.begin_job(format!("collect rdd{}", rdd.id()));
+    metrics.advance(SimDuration::from_secs(
+        ctx.cluster().cost().spark_job_overhead,
+    ));
 
     prepare_shuffles(&rdd.imp);
     let parts = run_final_stage(rdd, format!("collect rdd{}", rdd.id()));
@@ -117,8 +142,7 @@ pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
     let cost = ctx.cluster().cost();
     metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
 
-    metrics.record_span(EventKind::Job, format!("collect rdd{}", rdd.id()), start);
-    metrics.count_job();
+    metrics.end_job(job);
 
     let mut out = Vec::new();
     for p in parts {
@@ -132,14 +156,15 @@ pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
 pub(crate) fn count<T: Data>(rdd: &Rdd<T>) -> u64 {
     let ctx = &rdd.ctx;
     let metrics = ctx.metrics().clone();
-    let start = metrics.now();
-    metrics.advance(SimDuration::from_secs(ctx.cluster().cost().spark_job_overhead));
+    let job = metrics.begin_job(format!("count rdd{}", rdd.id()));
+    metrics.advance(SimDuration::from_secs(
+        ctx.cluster().cost().spark_job_overhead,
+    ));
 
     prepare_shuffles(&rdd.imp);
     let parts = run_final_stage(rdd, format!("count rdd{}", rdd.id()));
 
-    metrics.record_span(EventKind::Job, format!("count rdd{}", rdd.id()), start);
-    metrics.count_job();
+    metrics.end_job(job);
 
     parts.iter().map(|p| p.len() as u64).sum()
 }

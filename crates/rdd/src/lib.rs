@@ -60,11 +60,7 @@ mod tests {
     use yafim_cluster::{ClusterSpec, CostModel, EventKind, SimCluster};
 
     fn small_cluster() -> SimCluster {
-        SimCluster::with_threads(
-            ClusterSpec::new(4, 2, 1 << 30),
-            CostModel::hadoop_era(),
-            4,
-        )
+        SimCluster::with_threads(ClusterSpec::new(4, 2, 1 << 30), CostModel::hadoop_era(), 4)
     }
 
     fn ctx() -> Context {
@@ -235,7 +231,10 @@ mod tests {
         let second = rdd.collect();
         assert_eq!(first, second);
         let stats = c.cache().stats();
-        assert!(stats.disk_hits >= 8, "second pass served from disk: {stats:?}");
+        assert!(
+            stats.disk_hits >= 8,
+            "second pass served from disk: {stats:?}"
+        );
         assert_eq!(stats.hits, 0, "nothing fit in 64 bytes of memory");
         // And the disk tier is still cheaper than the lineage (virtual I/O
         // differs, correctness identical).

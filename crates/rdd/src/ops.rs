@@ -114,10 +114,11 @@ where
     /// Group all values per key (one shuffle). Value order within a group is
     /// deterministic (map-task order, as this engine's shuffle is).
     pub fn group_by_key(&self) -> Rdd<(K, Vec<V>)> {
-        self.map(|(k, v)| (k, vec![v])).reduce_by_key(|mut a, mut b| {
-            a.append(&mut b);
-            a
-        })
+        self.map(|(k, v)| (k, vec![v]))
+            .reduce_by_key(|mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
     }
 
     /// Inner join on the key (one shuffle over both sides). For each key,

@@ -78,6 +78,12 @@ pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
     /// Append the shuffle stages this lineage depends on (nearest only; each
     /// stage pulls in its own ancestors when prepared).
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>);
+    /// Id of the shuffle whose output the stage computing this RDD reads,
+    /// if any. Narrow operators delegate to their parent (they pipeline into
+    /// the same stage); shuffle boundaries and sources stop the walk.
+    fn shuffle_read_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The node a partition's task runs on: its locality preference, or its
@@ -104,8 +110,10 @@ pub(crate) fn materialize<T: Data>(
             CacheTier::Memory => tc.add_mem_read(bytes),
             CacheTier::Disk => tc.add_disk_read(bytes),
         }
+        tc.note_cache_hit();
         return data;
     }
+    tc.note_cache_miss();
     let data = Arc::new(imp.compute(part, tc));
     let bytes = 8 + slice_bytes(&data);
     let node = node_for(imp, part).index();
@@ -376,6 +384,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapRdd<P, T> {
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
         self.parent.collect_shuffle_deps(out);
     }
+
+    fn shuffle_read_id(&self) -> Option<u64> {
+        self.parent.shuffle_read_id()
+    }
 }
 
 pub(crate) struct FlatMapRdd<P: Data, T: Data> {
@@ -407,6 +419,10 @@ impl<P: Data, T: Data> RddImpl<T> for FlatMapRdd<P, T> {
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
         self.parent.collect_shuffle_deps(out);
+    }
+
+    fn shuffle_read_id(&self) -> Option<u64> {
+        self.parent.shuffle_read_id()
     }
 }
 
@@ -440,6 +456,10 @@ impl<T: Data> RddImpl<T> for FilterRdd<T> {
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
         self.parent.collect_shuffle_deps(out);
     }
+
+    fn shuffle_read_id(&self) -> Option<u64> {
+        self.parent.shuffle_read_id()
+    }
 }
 
 pub(crate) struct MapPartitionsRdd<P: Data, T: Data> {
@@ -472,6 +492,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
         self.parent.collect_shuffle_deps(out);
+    }
+
+    fn shuffle_read_id(&self) -> Option<u64> {
+        self.parent.shuffle_read_id()
     }
 }
 

@@ -17,11 +17,11 @@ use crate::context::Context;
 use crate::exec;
 use crate::rdd::{materialize, Data, RddImpl, RddMeta};
 use crate::task::TaskContext;
-use parking_lot::Mutex;
 use std::any::Any;
 use std::hash::Hash;
 use std::sync::{Arc, Weak};
-use yafim_cluster::{bucket_of, slice_bytes, FxHashMap, NodeId};
+use yafim_cluster::sync::Mutex;
+use yafim_cluster::{bucket_of, slice_bytes, EventKind, FxHashMap, NodeId};
 
 /// A shuffle's map side, to be run before any stage that reads it.
 pub(crate) trait ShuffleStage: Send + Sync {
@@ -141,6 +141,8 @@ where
         let results: Vec<MapOut<K, V>> = exec::run_stage(
             &ctx,
             format!("shuffle {} map", self.meta.id),
+            EventKind::Shuffle,
+            Some(self.meta.id),
             map_parts,
             preferred,
             Arc::new(move |part: usize, tc: &mut TaskContext| {
@@ -183,6 +185,7 @@ where
                 tc.add_records_out(total_records);
                 tc.add_ser(total_bytes);
                 tc.add_disk_write(total_bytes); // shuffle file write
+                tc.note_shuffle_write(total_bytes);
 
                 buckets
             }),
@@ -262,6 +265,7 @@ where
         tc.add_disk_read(local);
         tc.add_net(bytes - local);
         tc.add_ser(bytes);
+        tc.note_shuffle_read(bytes);
 
         let bucket = &mat.buckets[part];
         tc.add_records_in(bucket.len() as u64);
@@ -290,5 +294,11 @@ where
             .upgrade()
             .expect("RDD alive while collecting deps");
         out.push(me as Arc<dyn ShuffleStage>);
+    }
+
+    fn shuffle_read_id(&self) -> Option<u64> {
+        // A stage whose pipeline starts at this RDD fetches this shuffle's
+        // map output.
+        Some(self.meta.id)
     }
 }

@@ -1,15 +1,16 @@
 //! Per-task execution context.
 
-use yafim_cluster::{NodeId, WorkCounters};
+use yafim_cluster::{NodeId, TaskProfile, WorkCounters};
 
 /// Handed to every task closure. Carries the task's identity and the work
-//  counters that drive virtual-time accounting.
+//  counters that drive virtual-time accounting, plus attribution counters
+//  (shuffle/broadcast bytes, cache behaviour) for the observability layer.
 pub struct TaskContext {
     /// Partition index this task computes.
     pub partition: usize,
     /// Virtual node the task runs on (locality decision made by the driver).
     pub node: NodeId,
-    work: WorkCounters,
+    profile: TaskProfile,
 }
 
 impl TaskContext {
@@ -18,58 +19,96 @@ impl TaskContext {
         TaskContext {
             partition,
             node,
-            work: WorkCounters::new(),
+            profile: TaskProfile::new(),
         }
     }
 
     /// Record `n` records flowing into an operator.
     pub fn add_records_in(&mut self, n: u64) {
-        self.work.add_records_in(n);
+        self.profile.work.add_records_in(n);
     }
 
     /// Record `n` records produced by an operator.
     pub fn add_records_out(&mut self, n: u64) {
-        self.work.add_records_out(n);
+        self.profile.work.add_records_out(n);
     }
 
     /// Record extra CPU work units (hash-tree visits, comparisons…).
     pub fn add_cpu(&mut self, units: u64) {
-        self.work.add_cpu(units);
+        self.profile.work.add_cpu(units);
     }
 
     /// Record a node-local disk read.
     pub fn add_disk_read(&mut self, bytes: u64) {
-        self.work.add_disk_read(bytes);
+        self.profile.work.add_disk_read(bytes);
     }
 
     /// Record a node-local disk write.
     pub fn add_disk_write(&mut self, bytes: u64) {
-        self.work.add_disk_write(bytes);
+        self.profile.work.add_disk_write(bytes);
     }
 
     /// Record a scan of cached in-memory data.
     pub fn add_mem_read(&mut self, bytes: u64) {
-        self.work.add_mem_read(bytes);
+        self.profile.work.add_mem_read(bytes);
     }
 
     /// Record a network fetch.
     pub fn add_net(&mut self, bytes: u64) {
-        self.work.add_net(bytes);
+        self.profile.work.add_net(bytes);
     }
 
     /// Record bytes crossing a serialization boundary.
     pub fn add_ser(&mut self, bytes: u64) {
-        self.work.add_ser(bytes);
+        self.profile.work.add_ser(bytes);
     }
 
-    /// Snapshot of the accumulated counters.
+    /// Attribute bytes already charged to the physical counters as a
+    /// shuffle fetch (local + remote).
+    pub fn note_shuffle_read(&mut self, bytes: u64) {
+        self.profile.shuffle_read_bytes += bytes;
+    }
+
+    /// Attribute bytes already charged to the physical counters as a
+    /// map-side shuffle-file write.
+    pub fn note_shuffle_write(&mut self, bytes: u64) {
+        self.profile.shuffle_write_bytes += bytes;
+    }
+
+    /// Attribute bytes already charged to the physical counters as a read
+    /// of a broadcast variable.
+    pub fn note_broadcast_read(&mut self, bytes: u64) {
+        self.profile.broadcast_read_bytes += bytes;
+    }
+
+    /// Count a partition read served from the cache (any tier).
+    pub fn note_cache_hit(&mut self) {
+        self.profile.cache_hits += 1;
+    }
+
+    /// Count a partition read that missed the cache and recomputed.
+    pub fn note_cache_miss(&mut self) {
+        self.profile.cache_misses += 1;
+    }
+
+    /// Snapshot of the accumulated physical counters.
     pub fn work(&self) -> &WorkCounters {
-        &self.work
+        &self.profile.work
     }
 
-    /// Consume the context, yielding the final counters.
+    /// Snapshot of the full profile (physical + attribution).
+    pub fn profile(&self) -> &TaskProfile {
+        &self.profile
+    }
+
+    /// Consume the context, yielding the final physical counters.
     pub fn into_work(self) -> WorkCounters {
-        self.work
+        self.profile.work
+    }
+
+    /// Consume the context, yielding the full profile.
+    pub fn into_profile(self) -> TaskProfile {
+        self.profile
     }
 }
 
@@ -88,5 +127,22 @@ mod tests {
         assert_eq!(tc.work().cpu_units, 12);
         let w = tc.into_work();
         assert_eq!(w.mem_read_bytes, 100);
+    }
+
+    #[test]
+    fn attribution_never_touches_physical_counters() {
+        let mut tc = TaskContext::new(0, NodeId(0));
+        tc.note_shuffle_read(100);
+        tc.note_shuffle_write(200);
+        tc.note_broadcast_read(300);
+        tc.note_cache_hit();
+        tc.note_cache_miss();
+        let p = tc.into_profile();
+        assert_eq!(p.shuffle_read_bytes, 100);
+        assert_eq!(p.shuffle_write_bytes, 200);
+        assert_eq!(p.broadcast_read_bytes, 300);
+        assert_eq!(p.cache_hits, 1);
+        assert_eq!(p.cache_misses, 1);
+        assert_eq!(p.work, WorkCounters::new(), "attribution is time-neutral");
     }
 }

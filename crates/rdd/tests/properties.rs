@@ -1,9 +1,7 @@
-//! Property-based tests over the RDD engine: operator semantics must match
-//! their `Vec` equivalents regardless of data, partitioning, caching, or
-//! injected faults — and virtual time must always move forward.
+//! Randomized-but-deterministic tests over the RDD engine: operator semantics
+//! must match their `Vec` equivalents regardless of data, partitioning,
+//! caching, or injected faults — and virtual time must always move forward.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::HashMap;
 use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
 use yafim_rdd::{Context, FaultInjection};
@@ -16,65 +14,117 @@ fn ctx() -> Context {
     ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Tiny deterministic generator for test inputs (splitmix64).
+struct Rng(u64);
 
-    #[test]
-    fn collect_is_identity(data in vec(any::<u32>(), 0..200), parts in 1usize..16) {
-        let c = ctx();
-        let rdd = c.parallelize_with_partitions(data.clone(), parts);
-        prop_assert_eq!(rdd.collect(), data);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn map_matches_vec_map(data in vec(any::<u32>(), 0..200), parts in 1usize..16) {
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn data(&mut self, max_len: u64) -> Vec<u32> {
+        let n = self.range(0, max_len) as usize;
+        (0..n).map(|_| self.next() as u32).collect()
+    }
+}
+
+const CASES: usize = 24;
+
+#[test]
+fn collect_is_identity() {
+    let mut rng = Rng(10);
+    for _ in 0..CASES {
+        let data = rng.data(200);
+        let parts = rng.range(1, 16) as usize;
+        let c = ctx();
+        let rdd = c.parallelize_with_partitions(data.clone(), parts);
+        assert_eq!(rdd.collect(), data);
+    }
+}
+
+#[test]
+fn map_matches_vec_map() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let data = rng.data(200);
+        let parts = rng.range(1, 16) as usize;
         let c = ctx();
         let out = c
             .parallelize_with_partitions(data.clone(), parts)
             .map(|x| x.wrapping_mul(3).wrapping_add(1))
             .collect();
-        let expected: Vec<u32> =
-            data.iter().map(|x| x.wrapping_mul(3).wrapping_add(1)).collect();
-        prop_assert_eq!(out, expected);
+        let expected: Vec<u32> = data
+            .iter()
+            .map(|x| x.wrapping_mul(3).wrapping_add(1))
+            .collect();
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn filter_matches_vec_filter(data in vec(0u32..100, 0..200), parts in 1usize..16) {
+#[test]
+fn filter_matches_vec_filter() {
+    let mut rng = Rng(12);
+    for _ in 0..CASES {
+        let data: Vec<u32> = rng.data(200).into_iter().map(|x| x % 100).collect();
+        let parts = rng.range(1, 16) as usize;
         let c = ctx();
         let out = c
             .parallelize_with_partitions(data.clone(), parts)
             .filter(|x| x % 3 == 0)
             .collect();
         let expected: Vec<u32> = data.into_iter().filter(|x| x % 3 == 0).collect();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn flat_map_matches_vec(data in vec(0u32..8, 0..100), parts in 1usize..8) {
+#[test]
+fn flat_map_matches_vec() {
+    let mut rng = Rng(13);
+    for _ in 0..CASES {
+        let data: Vec<u32> = rng.data(100).into_iter().map(|x| x % 8).collect();
+        let parts = rng.range(1, 8) as usize;
         let c = ctx();
         let out = c
             .parallelize_with_partitions(data.clone(), parts)
             .flat_map(|x| (0..x).collect::<Vec<u32>>())
             .collect();
         let expected: Vec<u32> = data.into_iter().flat_map(|x| 0..x).collect();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn count_equals_len(data in vec(any::<u64>(), 0..300), parts in 1usize..20) {
+#[test]
+fn count_equals_len() {
+    let mut rng = Rng(14);
+    for _ in 0..CASES {
+        let data = rng.data(300);
+        let parts = rng.range(1, 20) as usize;
         let c = ctx();
-        prop_assert_eq!(
+        assert_eq!(
             c.parallelize_with_partitions(data.clone(), parts).count(),
             data.len() as u64
         );
     }
+}
 
-    #[test]
-    fn reduce_by_key_matches_hashmap(
-        pairs in vec((0u32..10, 1u64..100), 0..200),
-        parts in 1usize..12,
-        reduce_parts in 1usize..8,
-    ) {
+#[test]
+fn reduce_by_key_matches_hashmap() {
+    let mut rng = Rng(15);
+    for _ in 0..CASES {
+        let n = rng.range(0, 200) as usize;
+        let pairs: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.range(0, 10) as u32, rng.range(1, 100)))
+            .collect();
+        let parts = rng.range(1, 12) as usize;
+        let reduce_parts = rng.range(1, 8) as usize;
         let c = ctx();
         let out = c
             .parallelize_with_partitions(pairs.clone(), parts)
@@ -84,18 +134,23 @@ proptest! {
         for (k, v) in pairs {
             *expected.entry(k).or_insert(0) += v;
         }
-        prop_assert_eq!(out.len(), expected.len());
+        assert_eq!(out.len(), expected.len());
         for (k, v) in out {
-            prop_assert_eq!(expected.get(&k), Some(&v));
+            assert_eq!(expected.get(&k), Some(&v));
         }
     }
+}
 
-    #[test]
-    fn partitioning_never_changes_reduce_results(
-        pairs in vec((0u32..6, 1u64..10), 1..100),
-        parts_a in 1usize..10,
-        parts_b in 1usize..10,
-    ) {
+#[test]
+fn partitioning_never_changes_reduce_results() {
+    let mut rng = Rng(16);
+    for _ in 0..CASES {
+        let n = rng.range(1, 100) as usize;
+        let pairs: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.range(0, 6) as u32, rng.range(1, 10)))
+            .collect();
+        let parts_a = rng.range(1, 10) as usize;
+        let parts_b = rng.range(1, 10) as usize;
         let run = |parts: usize| {
             let c = ctx();
             let mut out = c
@@ -105,11 +160,19 @@ proptest! {
             out.sort();
             out
         };
-        prop_assert_eq!(run(parts_a), run(parts_b));
+        assert_eq!(run(parts_a), run(parts_b));
     }
+}
 
-    #[test]
-    fn caching_is_transparent(data in vec(any::<u32>(), 1..150), parts in 1usize..10) {
+#[test]
+fn caching_is_transparent() {
+    let mut rng = Rng(17);
+    for _ in 0..CASES {
+        let mut data = rng.data(150);
+        if data.is_empty() {
+            data.push(rng.next() as u32);
+        }
+        let parts = rng.range(1, 10) as usize;
         let c = ctx();
         let plain = c
             .parallelize_with_partitions(data.clone(), parts)
@@ -121,16 +184,19 @@ proptest! {
             .cache();
         let first = cached_rdd.collect();
         let second = cached_rdd.collect();
-        prop_assert_eq!(&first, &plain);
-        prop_assert_eq!(&second, &plain);
+        assert_eq!(&first, &plain);
+        assert_eq!(&second, &plain);
     }
+}
 
-    #[test]
-    fn fault_injection_is_transparent(
-        data in vec(0u32..50, 1..150),
-        parts in 2usize..10,
-        victim in 0usize..10,
-    ) {
+#[test]
+fn fault_injection_is_transparent() {
+    let mut rng = Rng(18);
+    for _ in 0..CASES {
+        let n = rng.range(1, 150) as usize;
+        let data: Vec<u32> = (0..n).map(|_| rng.range(0, 50) as u32).collect();
+        let parts = rng.range(2, 10) as usize;
+        let victim = rng.range(0, 10) as usize;
         let c = ctx();
         let rdd = c
             .parallelize_with_partitions(data, parts)
@@ -142,29 +208,35 @@ proptest! {
         c.drop_cached_partition(rdd.id(), victim % parts);
         c.drop_shuffle(reduced.id());
         let recovered = reduced.collect();
-        prop_assert_eq!(healthy, recovered);
+        assert_eq!(healthy, recovered);
     }
+}
 
-    #[test]
-    fn actions_always_advance_the_clock(data in vec(any::<u32>(), 0..50)) {
+#[test]
+fn actions_always_advance_the_clock() {
+    let mut rng = Rng(19);
+    for _ in 0..CASES {
+        let data = rng.data(50);
         let c = ctx();
         let before = c.metrics().now();
         c.parallelize(data).count();
-        prop_assert!(c.metrics().now() > before);
+        assert!(c.metrics().now() > before);
     }
+}
 
-    #[test]
-    fn union_is_concatenation(
-        a in vec(any::<u32>(), 0..80),
-        b in vec(any::<u32>(), 0..80),
-        pa in 1usize..6,
-        pb in 1usize..6,
-    ) {
+#[test]
+fn union_is_concatenation() {
+    let mut rng = Rng(20);
+    for _ in 0..CASES {
+        let a = rng.data(80);
+        let b = rng.data(80);
+        let pa = rng.range(1, 6) as usize;
+        let pb = rng.range(1, 6) as usize;
         let c = ctx();
         let ra = c.parallelize_with_partitions(a.clone(), pa);
         let rb = c.parallelize_with_partitions(b.clone(), pb);
         let mut expected = a;
         expected.extend(b);
-        prop_assert_eq!(ra.union(&rb).collect(), expected);
+        assert_eq!(ra.union(&rb).collect(), expected);
     }
 }

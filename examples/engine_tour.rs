@@ -37,7 +37,10 @@ fn main() {
         .collect();
     top_items.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     println!("distinct items: {}", top_items.len());
-    println!("hottest item:   {:?}", top_items.first().expect("non-empty"));
+    println!(
+        "hottest item:   {:?}",
+        top_items.first().expect("non-empty")
+    );
 
     // The extended operator set: sample → distinct → join.
     let users = events.map(|l: String| {

@@ -46,7 +46,11 @@ fn main() {
     // Warm re-run: everything cached / shuffle reused.
     let warm = counts.collect();
     let t2 = ctx.metrics().now();
-    println!("warm re-run:   identical={} in {:.3} virtual s", warm == healthy, t2.since(t1).as_secs());
+    println!(
+        "warm re-run:   identical={} in {:.3} virtual s",
+        warm == healthy,
+        t2.since(t1).as_secs()
+    );
 
     // Simulated node failure: lose a third of the cached partitions and the
     // shuffle output that was derived from them.

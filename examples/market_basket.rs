@@ -8,9 +8,7 @@
 use yafim::cluster::SimCluster;
 use yafim::data::{to_lines, PaperDataset};
 use yafim::rdd::Context;
-use yafim::{
-    generate_rules, MrApriori, MrAprioriConfig, RuleConfig, Support, Yafim, YafimConfig,
-};
+use yafim::{generate_rules, MrApriori, MrAprioriConfig, RuleConfig, Support, Yafim, YafimConfig};
 
 fn main() {
     // A T10I4D100K-shaped basket dataset, scaled down so the example runs

@@ -29,12 +29,9 @@ fn main() {
     spark_cluster
         .hdfs()
         .put_overwrite("cases.dat", to_lines(&cases));
-    let yafim = Yafim::new(
-        Context::new(spark_cluster),
-        YafimConfig::new(support),
-    )
-    .mine("cases.dat")
-    .expect("dataset written");
+    let yafim = Yafim::new(Context::new(spark_cluster), YafimConfig::new(support))
+        .mine("cases.dat")
+        .expect("dataset written");
 
     let mr_cluster = SimCluster::paper_cluster();
     mr_cluster
@@ -53,7 +50,10 @@ fn main() {
         yafim.result.max_len()
     );
     println!("\nper-iteration comparison (the paper's Fig. 6 shape):");
-    println!("{:>6} {:>12} {:>12} {:>9}", "pass", "YAFIM (s)", "MR (s)", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "pass", "YAFIM (s)", "MR (s)", "speedup"
+    );
     for (y, m) in yafim.passes.iter().zip(&mr.passes) {
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>8.1}x",
@@ -80,7 +80,10 @@ fn main() {
         closed.len()
     );
     for (set, sup) in closed.iter().take(3) {
-        println!("  {} entities co-occurring in {sup} cases: {set}", set.len());
+        println!(
+            "  {} entities co-occurring in {sup} cases: {set}",
+            set.len()
+        );
     }
 
     // High-confidence comorbidity rules: "patients with A are usually also

@@ -27,7 +27,9 @@ fn main() {
         seed: 1,
     })
     .generate();
-    cluster.hdfs().put_overwrite("baskets.dat", to_lines(&transactions));
+    cluster
+        .hdfs()
+        .put_overwrite("baskets.dat", to_lines(&transactions));
 
     // 3. Mine with YAFIM at 1% minimum support.
     let ctx = Context::new(cluster);

@@ -4,8 +4,14 @@
 //! yafim-cli generate --dataset mushroom --out mushroom.dat [--scale 0.5]
 //! yafim-cli mine --input mushroom.dat --support 35% [--miner spark]
 //!           [--nodes 12 --cores 8] [--rules 0.8] [--top 10] [--timeline]
+//!           [--report] [--trace out.json]
 //! yafim-cli compare --input mushroom.dat --support 35%
 //! ```
+//!
+//! `--report` prints a Spark-UI-style per-stage/per-iteration summary;
+//! `--trace FILE` writes a Chrome trace (open in <https://ui.perfetto.dev>
+//! or `chrome://tracing`) of the run's job/stage/task spans, one process
+//! per simulated node and one thread per core.
 //!
 //! Miners: `sequential` (Apriori), `eclat`, `fpgrowth` (single-node);
 //! `spark` (YAFIM, default), `mapreduce` (MR-Apriori/SPC), `son`, `pfp`
@@ -26,6 +32,7 @@ fn usage() -> ! {
   yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
                      [--nodes N] [--cores C] [--rules MIN_CONF] [--top K] [--timeline]
+                     [--report] [--trace out.json]
   yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
     );
     exit(2)
@@ -116,11 +123,7 @@ fn cmd_generate() {
     );
 }
 
-fn run_distributed(
-    miner: &str,
-    tx: &[Vec<u32>],
-    support: Support,
-) -> (MinerRun, SimCluster) {
+fn run_distributed(miner: &str, tx: &[Vec<u32>], support: Support) -> (MinerRun, SimCluster) {
     let c = cluster();
     c.hdfs().put_overwrite("input.dat", to_lines(tx));
     let run = match miner {
@@ -193,11 +196,32 @@ fn cmd_mine() {
     }
 
     if flag("--timeline") {
-        if let Some(c) = cluster {
+        if let Some(c) = &cluster {
             println!("\nvirtual timeline:");
             print!("{}", c.metrics().render_timeline());
         } else {
             eprintln!("--timeline requires a distributed miner");
+        }
+    }
+
+    if flag("--report") {
+        if let Some(c) = &cluster {
+            println!("\n{}", yafim::cluster::full_report(c.metrics()));
+        } else {
+            eprintln!("--report requires a distributed miner");
+        }
+    }
+
+    if let Some(path) = arg("--trace") {
+        if let Some(c) = &cluster {
+            let json = yafim::cluster::chrome_trace(c.metrics(), c.spec());
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("{path}: {e}");
+                exit(1);
+            }
+            println!("\nwrote Chrome trace to {path} (open in https://ui.perfetto.dev)");
+        } else {
+            eprintln!("--trace requires a distributed miner");
         }
     }
 }

@@ -49,9 +49,12 @@ fn per_pass_events_reconstruct_fig3_series() {
     let tx = PaperDataset::Chess.generate_scaled(0.05);
     let cluster = small_cluster();
     cluster.hdfs().put_overwrite("c.dat", to_lines(&tx));
-    let run = Yafim::new(Context::new(cluster.clone()), YafimConfig::new(Support::Fraction(0.85)))
-        .mine("c.dat")
-        .expect("written");
+    let run = Yafim::new(
+        Context::new(cluster.clone()),
+        YafimConfig::new(Support::Fraction(0.85)),
+    )
+    .mine("c.dat")
+    .expect("written");
 
     let events = cluster.metrics().events_of(EventKind::Iteration);
     assert_eq!(events.len(), run.passes.len());
