@@ -1,0 +1,176 @@
+//! Chaos harness: run YAFIM and MR-Apriori under identical deterministic
+//! fault plans and verify that recovery changes *when* things finish, never
+//! *what* they compute.
+//!
+//! Two scenarios, both seeded and bit-for-bit reproducible:
+//!
+//! * **A — node loss mid-Phase-II**: a node dies halfway through pass 2,
+//!   taking its cached partitions and shuffle map outputs (YAFIM) or its
+//!   completed map outputs (MR) with it. Both engines must produce results
+//!   byte-identical to the fault-free run, paying only extra virtual time.
+//! * **B — flaky tasks + a straggler node**: background task crashes with
+//!   bounded retries, one node degraded 3×, speculative execution on.
+//!
+//! Usage: `cargo run -p yafim-bench --release --bin chaos
+//!     [--seed N] [--scale X]`
+//!
+//! Run it twice with the same seed and diff the output: identical bytes.
+
+use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
+use yafim_cluster::{
+    full_report, ClusterSpec, EventKind, FaultPlan, NodeId, RecoveryCounters, SimCluster,
+    SimDuration, SimInstant,
+};
+use yafim_core::{MinerRun, MrApriori, MrAprioriConfig, Yafim, YafimConfig};
+use yafim_data::PaperDataset;
+use yafim_rdd::Context;
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn main() {
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let scale: f64 = arg("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let data = bench_dataset(PaperDataset::Mushroom, scale);
+
+    println!("== chaos: deterministic fault injection (seed {seed}) ==");
+    println!(
+        "dataset {} at scale {scale}, support {:?}\n",
+        data.name, data.support
+    );
+
+    for engine in ["YAFIM", "MR-Apriori"] {
+        // Fault-free baseline: reference results, makespan, and the virtual
+        // instant halfway through pass 2 (mid-Phase-II) for the node loss.
+        let (base_run, base_cluster) = mine(engine, &data, None);
+        let t_loss = pass2_midpoint(&base_cluster).unwrap_or(base_run.total_seconds * 0.5);
+        println!("-- {engine} --");
+        println!(
+            "fault-free: {} itemsets in {:.2} virtual s",
+            base_run.result.total(),
+            base_run.total_seconds
+        );
+
+        // A: lose the node holding the input's primary block replica (the
+        // data-local node — it owns cached partitions and map outputs)
+        // mid-Phase-II. HDFS placement is deterministic, so the victim is
+        // the same node in every run.
+        let victim = base_cluster
+            .hdfs()
+            .get("input.dat")
+            .expect("loaded")
+            .blocks()[0]
+            .replicas[0];
+        let plan_a = FaultPlan::seeded(seed)
+            .lose_node_at(victim, SimInstant::EPOCH + SimDuration::from_secs(t_loss));
+        let (run_a, cluster_a) = mine(engine, &data, Some(plan_a));
+        assert_eq!(
+            base_run.result, run_a.result,
+            "{engine}: node loss changed mining results"
+        );
+        let rec_a = cluster_a.metrics().snapshot().recovery;
+        println!(
+            "A {victim} lost at {t_loss:.2}s (mid pass 2): results identical, \
+             {:.2} virtual s (+{:.2}s recovery)",
+            run_a.total_seconds,
+            run_a.total_seconds - base_run.total_seconds
+        );
+        print_counters(&rec_a);
+        print_recovery_excerpt(&cluster_a);
+
+        // B: flaky tasks + one straggler node, speculation on.
+        let plan_b = FaultPlan::seeded(seed)
+            .crash_tasks(0.08)
+            .with_max_task_failures(10)
+            .slow_node(NodeId(2), 3.0)
+            .with_speculation();
+        let (run_b, cluster_b) = mine(engine, &data, Some(plan_b));
+        assert_eq!(
+            base_run.result, run_b.result,
+            "{engine}: crashes/speculation changed mining results"
+        );
+        let rec_b = cluster_b.metrics().snapshot().recovery;
+        println!(
+            "B crashes 8% + node2 slowed 3x + speculation: results identical, \
+             {:.2} virtual s (+{:.2}s recovery)",
+            run_b.total_seconds,
+            run_b.total_seconds - base_run.total_seconds
+        );
+        print_counters(&rec_b);
+        println!();
+    }
+    println!("all fault scenarios returned byte-identical mining results");
+}
+
+/// Run one engine over the dataset, optionally under a fault plan.
+fn mine(
+    engine: &str,
+    data: &yafim_bench::BenchDataset,
+    plan: Option<FaultPlan>,
+) -> (MinerRun, SimCluster) {
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    if let Some(p) = plan {
+        cluster.faults().set_plan(p);
+    }
+    let run = match engine {
+        "YAFIM" => Yafim::new(
+            Context::new(cluster.clone()),
+            YafimConfig::new(data.support),
+        )
+        .mine("input.dat")
+        .expect("below-budget plan must not abort"),
+        _ => MrApriori::new(cluster.clone(), MrAprioriConfig::new(data.support))
+            .mine("input.dat")
+            .expect("below-budget plan must not abort"),
+    };
+    (run, cluster)
+}
+
+/// Virtual instant (seconds) halfway through the `pass 2` iteration span.
+fn pass2_midpoint(cluster: &SimCluster) -> Option<f64> {
+    cluster
+        .metrics()
+        .events_of(EventKind::Iteration)
+        .iter()
+        .find(|e| e.label == "pass 2")
+        .map(|e| e.start.since(SimInstant::EPOCH).as_secs() + e.duration.as_secs() / 2.0)
+}
+
+fn print_counters(r: &RecoveryCounters) {
+    println!(
+        "   recovery: {} task failures, {} retries, {} speculative ({} won), \
+         {} nodes lost, {} map outputs refetched, {} partitions recomputed",
+        r.task_failures,
+        r.task_retries,
+        r.speculative_launched,
+        r.speculative_wins,
+        r.nodes_lost,
+        r.fetch_failures,
+        r.recomputed_partitions
+    );
+}
+
+/// Print the stage-report rows that show recovery work (resubmissions and
+/// nonzero recovery columns) plus the report's recovery totals line.
+fn print_recovery_excerpt(cluster: &SimCluster) {
+    let report = full_report(cluster.metrics());
+    for line in report.lines() {
+        if line.contains("resubmit") || line.contains("recovery:") || has_recovery_cell(line) {
+            println!("   | {}", line.trim_end());
+        }
+    }
+}
+
+/// Does a stage row end in a `Nf Nr Ns` recovery cell?
+fn has_recovery_cell(line: &str) -> bool {
+    let toks: Vec<&str> = line.split_whitespace().rev().take(3).collect();
+    toks.len() == 3
+        && toks[0].ends_with('s')
+        && toks[1].ends_with('r')
+        && toks[2].ends_with('f')
+        && toks
+            .iter()
+            .all(|t| t.len() > 1 && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit()))
+}

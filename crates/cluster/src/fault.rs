@@ -1,0 +1,885 @@
+//! Deterministic fault injection and Spark-style recovery scheduling.
+//!
+//! The paper's fault-tolerance story (§II.B) is lineage: lost data is
+//! recomputed, not replicated. To *exercise* that story the cluster needs
+//! failures, and to keep experiments bit-for-bit reproducible the failures
+//! must be part of the virtual timeline, not the host's. A [`FaultPlan`] is
+//! a seeded description of everything that goes wrong in a run:
+//!
+//! * **task crashes** — attempt `a` of partition `p` in stage `s` crashes
+//!   iff a hash of `(seed, s, p, a)` falls under the crash probability, so
+//!   the same plan always kills the same attempts;
+//! * **node losses** — a node dies at a fixed virtual instant; running
+//!   attempts fail at the instant of death, and the node takes no further
+//!   tasks (engines additionally invalidate its cached partitions and
+//!   shuffle map outputs);
+//! * **slow nodes** — a degradation factor stretches every task the node
+//!   runs, modelling the heterogeneous/degraded workers of Aouad et al.
+//!
+//! The [`FaultController`] evaluates a plan while scheduling a stage: failed
+//! attempts are retried after a resubmission delay (up to
+//! [`FaultPlan::max_task_failures`], Spark's default 4), nodes accumulating
+//! failures are blacklisted, and — when speculative execution is enabled —
+//! straggler attempts on slow nodes get a duplicate launched on a healthy
+//! node, first finisher wins. Real data processing still happens exactly
+//! once on the host pool; failures exist purely on the virtual timeline, so
+//! mining results stay byte-identical while virtual time grows.
+
+use crate::hash::{fx_hash64, FxHashMap, FxHashSet};
+use crate::sched::{DetailedSchedule, ScheduleOutcome, TaskPlacement, TaskSpec, VirtualScheduler};
+use crate::spec::NodeId;
+use crate::sync::Mutex;
+use crate::time::{SimDuration, SimInstant};
+use std::sync::Arc;
+
+/// Spark's default `spark.task.maxFailures`.
+pub const DEFAULT_MAX_TASK_FAILURES: u32 = 4;
+/// Delay before a failed task is resubmitted (scheduler round-trip).
+pub const DEFAULT_RESUBMIT_DELAY: f64 = 0.2;
+/// A surviving attempt this many times slower than the stage median gets a
+/// speculative copy (Spark's `spark.speculation.multiplier`).
+pub const DEFAULT_SPECULATION_MULTIPLIER: f64 = 1.5;
+/// Crash failures on one node before it stops receiving tasks.
+pub const DEFAULT_BLACKLIST_AFTER: u32 = 3;
+
+/// A seeded, fully deterministic description of the faults injected into one
+/// run. Built with the `with_*`/`crash_*`/`lose_*` chainable constructors.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for all pseudo-random crash decisions.
+    pub seed: u64,
+    /// Probability that any given task attempt crashes partway through.
+    pub task_crash_prob: f64,
+    /// Attempts a task may burn on crashes before the stage aborts.
+    pub max_task_failures: u32,
+    /// Virtual delay between a failure and the retry launch.
+    pub resubmit_delay: SimDuration,
+    /// Nodes that die, with their virtual time of death.
+    pub node_losses: Vec<(NodeId, SimInstant)>,
+    /// Nodes running slow: every task duration is multiplied by the factor.
+    pub slow_nodes: Vec<(NodeId, f64)>,
+    /// Launch duplicate attempts for stragglers on slow nodes.
+    pub speculation: bool,
+    /// Straggler threshold relative to the stage's median task duration.
+    pub speculation_multiplier: f64,
+    /// Crash failures on one node before it is blacklisted.
+    pub blacklist_after: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults) carrying `seed` for later crash settings.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            task_crash_prob: 0.0,
+            max_task_failures: DEFAULT_MAX_TASK_FAILURES,
+            resubmit_delay: SimDuration::from_secs(DEFAULT_RESUBMIT_DELAY),
+            node_losses: Vec::new(),
+            slow_nodes: Vec::new(),
+            speculation: false,
+            speculation_multiplier: DEFAULT_SPECULATION_MULTIPLIER,
+            blacklist_after: DEFAULT_BLACKLIST_AFTER,
+        }
+    }
+
+    /// Crash each task attempt with probability `prob` (seed-deterministic).
+    pub fn crash_tasks(mut self, prob: f64) -> Self {
+        self.task_crash_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Kill `node` at virtual instant `at`.
+    pub fn lose_node_at(mut self, node: NodeId, at: SimInstant) -> Self {
+        self.node_losses.push((node, at));
+        self
+    }
+
+    /// Degrade `node`: its tasks run `factor`× slower.
+    pub fn slow_node(mut self, node: NodeId, factor: f64) -> Self {
+        self.slow_nodes.push((node, factor.max(1.0)));
+        self
+    }
+
+    /// Enable speculative execution for straggler attempts.
+    pub fn with_speculation(mut self) -> Self {
+        self.speculation = true;
+        self
+    }
+
+    /// Override the per-task retry budget.
+    pub fn with_max_task_failures(mut self, n: u32) -> Self {
+        self.max_task_failures = n.max(1);
+        self
+    }
+
+    /// Override the resubmission delay.
+    pub fn with_resubmit_delay(mut self, d: SimDuration) -> Self {
+        self.resubmit_delay = d;
+        self
+    }
+
+    /// Override the blacklisting threshold.
+    pub fn with_blacklist_after(mut self, n: u32) -> Self {
+        self.blacklist_after = n.max(1);
+        self
+    }
+
+    /// True when the plan can actually disturb a run.
+    pub fn has_faults(&self) -> bool {
+        self.task_crash_prob > 0.0
+            || !self.node_losses.is_empty()
+            || self.slow_nodes.iter().any(|(_, f)| *f > 1.0)
+    }
+
+    /// Deterministic crash decision for one attempt: `Some(fraction)` means
+    /// the attempt crashes after running that fraction of its duration.
+    fn crash_point(&self, stage_seed: u64, partition: usize, attempt: u32) -> Option<f64> {
+        if self.task_crash_prob <= 0.0 {
+            return None;
+        }
+        let key = (self.seed, stage_seed, partition as u64, attempt as u64);
+        let roll = (fx_hash64(&key) >> 11) as f64 / (1u64 << 53) as f64;
+        if roll >= self.task_crash_prob {
+            return None;
+        }
+        let frac_bits = fx_hash64(&(key, 0x5eedu64));
+        Some(0.1 + 0.8 * ((frac_bits >> 11) as f64 / (1u64 << 53) as f64))
+    }
+
+    fn slow_factor(&self, node: NodeId) -> f64 {
+        self.slow_nodes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map_or(1.0, |(_, f)| f.max(1.0))
+    }
+}
+
+/// Failure/retry/speculation counters. Attached to every recorded stage and
+/// aggregated by the metrics sink; the stage report prints them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Task attempts that crashed or died with their node.
+    pub task_failures: u64,
+    /// Attempts re-launched after a failure.
+    pub task_retries: u64,
+    /// Nodes lost.
+    pub nodes_lost: u64,
+    /// Nodes blacklisted after repeated failures.
+    pub nodes_blacklisted: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative_launched: u64,
+    /// Speculative attempts that finished before their original.
+    pub speculative_wins: u64,
+    /// Partitions recomputed through lineage / HDFS re-reads after data
+    /// loss (cached partitions, shuffle map outputs, MR map re-executions).
+    pub recomputed_partitions: u64,
+    /// Shuffle map outputs found missing by a consumer.
+    pub fetch_failures: u64,
+    /// Broadcast re-distributions after an executor holding blocks died.
+    pub broadcast_refetches: u64,
+}
+
+impl RecoveryCounters {
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.task_failures += other.task_failures;
+        self.task_retries += other.task_retries;
+        self.nodes_lost += other.nodes_lost;
+        self.nodes_blacklisted += other.nodes_blacklisted;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_wins += other.speculative_wins;
+        self.recomputed_partitions += other.recomputed_partitions;
+        self.fetch_failures += other.fetch_failures;
+        self.broadcast_refetches += other.broadcast_refetches;
+    }
+
+    /// True when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        *self != RecoveryCounters::default()
+    }
+}
+
+/// Why a fault-aware schedule could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// One task exhausted its retry budget.
+    TaskAborted {
+        /// Partition whose task kept failing.
+        partition: usize,
+        /// Crash failures accumulated.
+        failures: u32,
+        /// The budget that was exceeded.
+        max_task_failures: u32,
+    },
+    /// No node is left alive (and un-blacklisted) to run a task.
+    NoHealthyNodes {
+        /// Partition that could not be placed.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::TaskAborted {
+                partition,
+                failures,
+                max_task_failures,
+            } => write!(
+                f,
+                "task for partition {partition} failed {failures} times, exceeding \
+                 max_task_failures = {max_task_failures}; aborting the stage \
+                 (raise FaultPlan::with_max_task_failures or lower the crash probability)"
+            ),
+            FaultError::NoHealthyNodes { partition } => write!(
+                f,
+                "no healthy node left to run partition {partition}: every node is \
+                 dead or blacklisted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A fault-aware schedule: the winning placement per task plus what it took
+/// to get there.
+#[derive(Clone, Debug)]
+pub struct FaultySchedule {
+    /// Final (winning) placements, in input task order.
+    pub schedule: DetailedSchedule,
+    /// Failures, retries and speculation accumulated by this stage.
+    pub recovery: RecoveryCounters,
+}
+
+impl FaultySchedule {
+    /// Virtual time past the last successful task end: failed attempts that
+    /// outlived every success, plus the healthy-plan makespan floor. The
+    /// metrics layer derives stage duration from the task spans alone, so
+    /// callers charge this as the stage's trailing time.
+    pub fn trailing_pad(&self) -> SimDuration {
+        let placed = self
+            .schedule
+            .placements
+            .iter()
+            .map(|p| p.start + p.duration)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        self.schedule.outcome.makespan - placed
+    }
+}
+
+#[derive(Default)]
+struct FaultInner {
+    plan: FaultPlan,
+    enabled: bool,
+    /// All node losses (plan plus manual kills), by virtual instant.
+    losses: Vec<(NodeId, SimInstant)>,
+    /// Nodes whose data-loss side effects the engine already applied.
+    applied: FxHashSet<u32>,
+    stage_counter: u64,
+}
+
+/// Shared handle evaluating one [`FaultPlan`] over a cluster's lifetime.
+/// Lives on the [`crate::SimCluster`]; inert (and free) until a plan is set
+/// or a node is killed. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct FaultController {
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+impl FaultController {
+    /// A controller with no plan (inert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a fault plan. Replaces any previous plan; nodes whose loss
+    /// was already applied stay dead.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut g = self.inner.lock();
+        let mut losses = plan.node_losses.clone();
+        losses.extend(
+            g.losses
+                .iter()
+                .filter(|(n, _)| g.applied.contains(&n.0))
+                .copied(),
+        );
+        g.plan = plan;
+        g.losses = losses;
+        g.enabled = true;
+    }
+
+    /// Copy of the installed plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.inner.lock().plan.clone()
+    }
+
+    /// Whether fault-aware scheduling is on (a plan was set or a node was
+    /// killed manually).
+    pub fn active(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Kill a node at virtual instant `at` (manual fault injection). Returns
+    /// `false` if the node was already dead. The caller is responsible for
+    /// invalidating the node's data (the loss is marked applied).
+    pub fn kill_node(&self, node: NodeId, at: SimInstant) -> bool {
+        let mut g = self.inner.lock();
+        if g.losses.iter().any(|(n, t)| *n == node && *t <= at) {
+            return false;
+        }
+        g.losses.push((node, at));
+        g.applied.insert(node.0);
+        g.enabled = true;
+        true
+    }
+
+    /// Nodes dead at instant `at`.
+    pub fn dead_nodes(&self, at: SimInstant) -> Vec<NodeId> {
+        let g = self.inner.lock();
+        let mut dead: Vec<NodeId> = g
+            .losses
+            .iter()
+            .filter(|(_, t)| *t <= at)
+            .map(|(n, _)| *n)
+            .collect();
+        dead.sort_by_key(|n| n.0);
+        dead.dedup();
+        dead
+    }
+
+    /// Nodes newly dead at `at` whose data-loss side effects (cache /
+    /// shuffle / broadcast invalidation) have not been applied yet. Marks
+    /// them applied — each loss is surfaced exactly once.
+    pub fn take_new_losses(&self, at: SimInstant) -> Vec<NodeId> {
+        let mut g = self.inner.lock();
+        let mut fresh: Vec<NodeId> = g
+            .losses
+            .iter()
+            .filter(|(n, t)| *t <= at && !g.applied.contains(&n.0))
+            .map(|(n, _)| *n)
+            .collect();
+        fresh.sort_by_key(|n| n.0);
+        fresh.dedup();
+        for n in &fresh {
+            g.applied.insert(n.0);
+        }
+        fresh
+    }
+
+    /// Schedule one stage under the installed plan: per-task attempt loops
+    /// with bounded retries, blacklisting, node deaths on the virtual
+    /// timeline and optional speculative duplicates. `retry_extra[i]`, when
+    /// given, is added to every retry attempt of task `i` (MapReduce charges
+    /// the HDFS re-read from a surviving replica there). `now` anchors
+    /// absolute node-loss instants to the stage-relative clock.
+    ///
+    /// With an inert plan this reproduces [`VirtualScheduler::schedule_detailed`]
+    /// placement-for-placement.
+    pub fn schedule_stage(
+        &self,
+        scheduler: &VirtualScheduler,
+        tasks: &[TaskSpec],
+        retry_extra: Option<&[SimDuration]>,
+        now: SimInstant,
+    ) -> Result<FaultySchedule, FaultError> {
+        let (stage_seed, plan, losses) = {
+            let mut g = self.inner.lock();
+            g.stage_counter += 1;
+            (g.stage_counter, g.plan.clone(), g.losses.clone())
+        };
+
+        let spec = scheduler.spec();
+        let nodes = spec.nodes as usize;
+        let cores_per_node = spec.cores_per_node as usize;
+        let total_cores = nodes * cores_per_node;
+        let locality_wait = scheduler.locality_wait();
+        let far = SimDuration::from_secs(f64::MAX / 4.0);
+
+        // Stage-relative death time per node (None = survives the stage).
+        let death: Vec<Option<SimDuration>> = (0..nodes)
+            .map(|n| {
+                losses
+                    .iter()
+                    .filter(|(id, _)| id.index() == n)
+                    .map(|(_, t)| t.since(now))
+                    .min()
+            })
+            .collect();
+        let slow: Vec<f64> = (0..nodes)
+            .map(|n| plan.slow_factor(NodeId(n as u32)))
+            .collect();
+
+        // Blacklisting is stage-scoped, like Spark's default (stage-level)
+        // blacklisting: a node accumulating `blacklist_after` crash failures
+        // in this stage takes no further tasks this stage.
+        let mut node_failures: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut blacklisted: FxHashSet<u32> = FxHashSet::default();
+
+        let mut free = vec![SimDuration::ZERO; total_cores];
+        let mut count = vec![0usize; total_cores];
+        let mut total_busy = SimDuration::ZERO;
+        let mut last_activity = SimDuration::ZERO;
+        let mut recovery = RecoveryCounters::default();
+        let mut placements: Vec<TaskPlacement> = Vec::with_capacity(tasks.len());
+
+        // Median base duration, the speculation straggler threshold.
+        let median = {
+            let mut durs: Vec<SimDuration> = tasks.iter().map(|t| t.duration).collect();
+            durs.sort();
+            durs.get(durs.len() / 2)
+                .copied()
+                .unwrap_or(SimDuration::ZERO)
+        };
+
+        // Whether a task launched at `start` on this core can begin at all.
+        let node_of = |core: usize| core / cores_per_node;
+        let usable = |bl: &FxHashSet<u32>,
+                      death: &[Option<SimDuration>],
+                      core: usize,
+                      start: SimDuration| {
+            let n = node_of(core);
+            !bl.contains(&(n as u32)) && death[n].is_none_or(|d| start < d)
+        };
+
+        for (i, t) in tasks.iter().enumerate() {
+            let extra = retry_extra.map_or(SimDuration::ZERO, |e| e[i]);
+            let mut failures = 0u32;
+            let mut launches = 0u32;
+            let mut earliest = SimDuration::ZERO; // resubmission delay gate
+            let max_launches = plan.max_task_failures + nodes as u32 + 1;
+
+            'attempts: loop {
+                launches += 1;
+                if failures >= plan.max_task_failures {
+                    return Err(FaultError::TaskAborted {
+                        partition: i,
+                        failures,
+                        max_task_failures: plan.max_task_failures,
+                    });
+                }
+                if launches > max_launches {
+                    return Err(FaultError::NoHealthyNodes { partition: i });
+                }
+                if launches > 1 {
+                    recovery.task_retries += 1;
+                }
+
+                // Core choice: the base scheduler's delay-scheduling rule,
+                // restricted to cores whose node is alive at launch time.
+                let eff = |free: &[SimDuration], c: usize| free[c].max(earliest);
+                let earliest_usable =
+                    |free: &[SimDuration], bl: &FxHashSet<u32>, lo: usize, hi: usize| {
+                        let mut best: Option<usize> = None;
+                        for c in lo..hi {
+                            if usable(bl, &death, c, eff(free, c))
+                                && best.is_none_or(|b| eff(free, c) < eff(free, b))
+                            {
+                                best = Some(c);
+                            }
+                        }
+                        best
+                    };
+                let local = t
+                    .preferred_node
+                    .map(|n| n.index() * cores_per_node)
+                    .and_then(|lo| earliest_usable(&free, &blacklisted, lo, lo + cores_per_node));
+                let core = match local {
+                    Some(l) if eff(&free, l) <= locality_wait => Some(l),
+                    Some(l) => match earliest_usable(&free, &blacklisted, 0, total_cores) {
+                        Some(gl) if eff(&free, l) <= eff(&free, gl) => Some(l),
+                        other => other,
+                    },
+                    None => earliest_usable(&free, &blacklisted, 0, total_cores),
+                };
+                let Some(core) = core else {
+                    return Err(FaultError::NoHealthyNodes { partition: i });
+                };
+                let node = node_of(core);
+                let start = eff(&free, core);
+                let mut dur = t.duration * slow[node];
+                if launches > 1 {
+                    dur += extra;
+                }
+                let end = start + dur;
+
+                // Earliest failure: the node dying mid-attempt, or the
+                // seeded crash roll.
+                let death_at = death[node].filter(|d| *d < end);
+                let crash_at = plan
+                    .crash_point(stage_seed, i, launches)
+                    .map(|frac| start + dur * frac);
+                let fail_at = match (death_at, crash_at) {
+                    (Some(d), Some(c)) => Some(d.min(c)),
+                    (d, c) => d.or(c),
+                };
+
+                if let Some(fail) = fail_at {
+                    let is_death = death_at.is_some_and(|d| d <= fail);
+                    recovery.task_failures += 1;
+                    if !is_death {
+                        failures += 1;
+                        let nf = node_failures.entry(node as u32).or_insert(0);
+                        *nf += 1;
+                        // Never blacklist the last node still able to run
+                        // tasks — the plan's crashes are cluster-wide, not
+                        // evidence against one machine.
+                        let healthy_elsewhere = (0..nodes).any(|n| {
+                            n != node
+                                && !blacklisted.contains(&(n as u32))
+                                && death[n].is_none_or(|d| fail < d)
+                        });
+                        if *nf >= plan.blacklist_after
+                            && healthy_elsewhere
+                            && blacklisted.insert(node as u32)
+                        {
+                            recovery.nodes_blacklisted += 1;
+                        }
+                    }
+                    total_busy += fail - start;
+                    free[core] = if is_death { far } else { fail };
+                    count[core] += 1;
+                    last_activity = last_activity.max(fail);
+                    earliest = fail + plan.resubmit_delay;
+                    continue 'attempts;
+                }
+
+                // The attempt will finish. Straggling on a slow node may get
+                // a speculative copy on the earliest healthy fast node.
+                let mut spec_copy: Option<(usize, SimDuration, SimDuration)> = None;
+                if plan.speculation
+                    && slow[node] > 1.0
+                    && median > SimDuration::ZERO
+                    && dur >= median * plan.speculation_multiplier
+                {
+                    let mut best: Option<usize> = None;
+                    for c in 0..total_cores {
+                        let n = node_of(c);
+                        if n == node || slow[n] > 1.0 {
+                            continue;
+                        }
+                        let s = free[c].max(start);
+                        if !usable(&blacklisted, &death, c, s)
+                            || death[n].is_some_and(|d| d < s + t.duration)
+                        {
+                            continue;
+                        }
+                        if best.is_none_or(|b| s < free[b].max(start)) {
+                            best = Some(c);
+                        }
+                    }
+                    if let Some(c) = best {
+                        let s = free[c].max(start);
+                        if s + t.duration < end {
+                            spec_copy = Some((c, s, t.duration));
+                            recovery.speculative_launched += 1;
+                        }
+                    }
+                }
+
+                match spec_copy {
+                    Some((copy_core, copy_start, copy_dur)) => {
+                        let copy_end = copy_start + copy_dur;
+                        // First finisher wins; the loser is killed then.
+                        recovery.speculative_wins += 1;
+                        placements.push(TaskPlacement {
+                            node: NodeId(node_of(copy_core) as u32),
+                            core: copy_core % cores_per_node,
+                            start: copy_start,
+                            duration: copy_dur,
+                        });
+                        free[copy_core] = copy_end;
+                        free[core] = copy_end; // original killed at copy finish
+                        count[copy_core] += 1;
+                        count[core] += 1;
+                        total_busy += copy_dur + (copy_end - start);
+                        last_activity = last_activity.max(copy_end);
+                    }
+                    None => {
+                        placements.push(TaskPlacement {
+                            node: NodeId(node as u32),
+                            core: core % cores_per_node,
+                            start,
+                            duration: dur,
+                        });
+                        free[core] = end;
+                        count[core] += 1;
+                        total_busy += dur;
+                        last_activity = last_activity.max(end);
+                    }
+                }
+                break 'attempts;
+            }
+        }
+
+        let waves = count.iter().copied().max().unwrap_or(0);
+        // Killing the congested data-local node can accidentally "improve"
+        // placement (its queue evaporates and delay scheduling stops
+        // waiting for it). Real recovery never beats the healthy plan — the
+        // survivors still have to re-fetch everything the dead node held —
+        // so the fault-free makespan is a floor on stage time.
+        let healthy_floor = scheduler.schedule_detailed(tasks).outcome.makespan;
+        Ok(FaultySchedule {
+            schedule: DetailedSchedule {
+                outcome: ScheduleOutcome {
+                    makespan: last_activity.max(healthy_floor),
+                    total_busy,
+                    tasks: tasks.len(),
+                    waves,
+                },
+                placements,
+            },
+            recovery,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, GIB};
+
+    fn sched(nodes: u32, cores: u32) -> VirtualScheduler {
+        VirtualScheduler::new(ClusterSpec::new(nodes, cores, GIB))
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn uniform(n: usize, dur: f64) -> Vec<TaskSpec> {
+        (0..n).map(|_| TaskSpec::anywhere(secs(dur))).collect()
+    }
+
+    #[test]
+    fn inert_plan_matches_plain_scheduler() {
+        let s = sched(3, 2);
+        let tasks: Vec<TaskSpec> = (0..17)
+            .map(|i| {
+                if i % 3 == 0 {
+                    TaskSpec::local(secs(0.1 * (i % 5 + 1) as f64), NodeId(i as u32 % 3))
+                } else {
+                    TaskSpec::anywhere(secs(0.1 * (i % 5 + 1) as f64))
+                }
+            })
+            .collect();
+        let fc = FaultController::new();
+        fc.set_plan(FaultPlan::seeded(7)); // enabled but inert
+        let faulty = fc
+            .schedule_stage(&s, &tasks, None, SimInstant::EPOCH)
+            .expect("inert plan cannot abort");
+        let base = s.schedule_detailed(&tasks);
+        assert_eq!(faulty.schedule.outcome, base.outcome);
+        assert_eq!(faulty.schedule.placements, base.placements);
+        assert!(!faulty.recovery.any());
+    }
+
+    #[test]
+    fn crashes_are_retried_and_counted() {
+        let s = sched(2, 2);
+        let fc = FaultController::new();
+        fc.set_plan(
+            FaultPlan::seeded(11)
+                .crash_tasks(0.4)
+                .with_max_task_failures(10),
+        );
+        let out = fc
+            .schedule_stage(&s, &uniform(40, 1.0), None, SimInstant::EPOCH)
+            .expect("40% crash rate stays well under a 10-attempt budget");
+        assert!(out.recovery.task_failures > 0, "{:?}", out.recovery);
+        assert_eq!(out.recovery.task_failures, out.recovery.task_retries);
+        // Failed attempt time counts as busy time on top of the real work.
+        assert!(out.schedule.outcome.total_busy > secs(40.0));
+        assert_eq!(out.schedule.placements.len(), 40);
+    }
+
+    #[test]
+    fn crash_decisions_are_deterministic() {
+        let run = |seed| {
+            let fc = FaultController::new();
+            fc.set_plan(
+                FaultPlan::seeded(seed)
+                    .crash_tasks(0.3)
+                    .with_max_task_failures(10),
+            );
+            let out = fc
+                .schedule_stage(&sched(2, 2), &uniform(30, 1.0), None, SimInstant::EPOCH)
+                .expect("under budget");
+            (out.recovery, out.schedule.outcome)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0, "different seeds crash differently");
+    }
+
+    #[test]
+    fn certain_crash_aborts_with_descriptive_error() {
+        let fc = FaultController::new();
+        fc.set_plan(FaultPlan::seeded(1).crash_tasks(1.0));
+        let err = fc
+            .schedule_stage(&sched(2, 2), &uniform(3, 1.0), None, SimInstant::EPOCH)
+            .expect_err("every attempt crashes");
+        match &err {
+            FaultError::TaskAborted {
+                failures,
+                max_task_failures,
+                ..
+            } => {
+                assert_eq!(*failures, *max_task_failures);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(err.to_string().contains("max_task_failures"));
+    }
+
+    #[test]
+    fn dead_node_takes_no_tasks() {
+        let s = sched(2, 1);
+        let fc = FaultController::new();
+        fc.set_plan(FaultPlan::seeded(0).lose_node_at(NodeId(0), SimInstant::EPOCH));
+        let out = fc
+            .schedule_stage(&s, &uniform(4, 1.0), None, SimInstant::EPOCH)
+            .expect("node 1 survives");
+        assert!(out.schedule.placements.iter().all(|p| p.node == NodeId(1)));
+        assert_eq!(out.schedule.outcome.makespan, secs(4.0));
+    }
+
+    #[test]
+    fn mid_stage_death_fails_running_attempts() {
+        let s = sched(2, 1);
+        let fc = FaultController::new();
+        // Node 0 dies half-way through the first wave.
+        fc.set_plan(FaultPlan::seeded(0).lose_node_at(NodeId(0), SimInstant::from_secs(0.5)));
+        let out = fc
+            .schedule_stage(&s, &uniform(2, 1.0), None, SimInstant::EPOCH)
+            .expect("node 1 survives");
+        assert_eq!(out.recovery.task_failures, 1);
+        assert_eq!(out.recovery.task_retries, 1);
+        assert!(out.schedule.placements.iter().all(|p| p.node == NodeId(1)));
+        // The retry waits for the resubmission delay and node 1's queue.
+        assert!(out.schedule.outcome.makespan > secs(1.0));
+    }
+
+    #[test]
+    fn all_nodes_dead_is_an_error() {
+        let fc = FaultController::new();
+        fc.set_plan(
+            FaultPlan::seeded(0)
+                .lose_node_at(NodeId(0), SimInstant::EPOCH)
+                .lose_node_at(NodeId(1), SimInstant::EPOCH),
+        );
+        let err = fc
+            .schedule_stage(&sched(2, 2), &uniform(2, 1.0), None, SimInstant::EPOCH)
+            .expect_err("nowhere to run");
+        assert!(matches!(err, FaultError::NoHealthyNodes { .. }));
+        assert!(err.to_string().contains("dead or blacklisted"));
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_the_node() {
+        let s = sched(4, 1);
+        let fc = FaultController::new();
+        fc.set_plan(
+            FaultPlan::seeded(3)
+                .crash_tasks(0.5)
+                .with_blacklist_after(2)
+                .with_max_task_failures(20),
+        );
+        let mut total = RecoveryCounters::default();
+        for _ in 0..6 {
+            let out = fc
+                .schedule_stage(&s, &uniform(16, 1.0), None, SimInstant::EPOCH)
+                .expect("budget of 10 is generous");
+            total.merge(&out.recovery);
+        }
+        assert!(total.nodes_blacklisted > 0, "{total:?}");
+    }
+
+    #[test]
+    fn slow_node_stretches_tasks_and_speculation_rescues_them() {
+        let s = sched(4, 1);
+        let tasks = uniform(4, 1.0);
+        let base = FaultPlan::seeded(0).slow_node(NodeId(0), 10.0);
+
+        let fc_slow = FaultController::new();
+        fc_slow.set_plan(base.clone());
+        let slow = fc_slow
+            .schedule_stage(&s, &tasks, None, SimInstant::EPOCH)
+            .expect("no crashes");
+        assert_eq!(slow.schedule.outcome.makespan, secs(10.0), "straggler");
+
+        let fc_spec = FaultController::new();
+        fc_spec.set_plan(base.with_speculation());
+        let spec = fc_spec
+            .schedule_stage(&s, &tasks, None, SimInstant::EPOCH)
+            .expect("no crashes");
+        assert!(spec.recovery.speculative_launched >= 1);
+        assert_eq!(
+            spec.recovery.speculative_wins,
+            spec.recovery.speculative_launched
+        );
+        assert!(
+            spec.schedule.outcome.makespan < slow.schedule.outcome.makespan,
+            "speculative copy beats the straggler: {:?} vs {:?}",
+            spec.schedule.outcome.makespan,
+            slow.schedule.outcome.makespan
+        );
+        // The winning placement is on a fast node.
+        assert!(spec.schedule.placements.iter().all(|p| p.node != NodeId(0)));
+    }
+
+    #[test]
+    fn retry_extra_charges_reread_on_retries_only() {
+        let s = sched(2, 1);
+        let fc = FaultController::new();
+        fc.set_plan(FaultPlan::seeded(0).lose_node_at(NodeId(0), SimInstant::from_secs(0.5)));
+        let tasks = vec![
+            TaskSpec::local(secs(1.0), NodeId(0)),
+            TaskSpec::local(secs(1.0), NodeId(1)),
+        ];
+        let extras = vec![secs(5.0), secs(5.0)];
+        let out = fc
+            .schedule_stage(&s, &tasks, Some(&extras), SimInstant::EPOCH)
+            .expect("node 1 survives");
+        // Task 0 failed at 0.5s, retried on node 1 with the 5s re-read.
+        let retried = &out.schedule.placements[0];
+        assert_eq!(retried.node, NodeId(1));
+        assert_eq!(retried.duration, secs(6.0));
+        // Task 1 never failed: no extra.
+        assert_eq!(out.schedule.placements[1].duration, secs(1.0));
+    }
+
+    #[test]
+    fn manual_kill_and_queries() {
+        let fc = FaultController::new();
+        assert!(!fc.active());
+        assert!(fc.kill_node(NodeId(2), SimInstant::from_secs(1.0)));
+        assert!(
+            !fc.kill_node(NodeId(2), SimInstant::from_secs(2.0)),
+            "already dead"
+        );
+        assert!(fc.active());
+        assert!(fc.dead_nodes(SimInstant::EPOCH).is_empty());
+        assert_eq!(fc.dead_nodes(SimInstant::from_secs(1.0)), vec![NodeId(2)]);
+        // Manual kills are pre-applied: the engine already invalidated data.
+        assert!(fc.take_new_losses(SimInstant::from_secs(5.0)).is_empty());
+    }
+
+    #[test]
+    fn planned_losses_surface_exactly_once() {
+        let fc = FaultController::new();
+        fc.set_plan(FaultPlan::seeded(0).lose_node_at(NodeId(1), SimInstant::from_secs(2.0)));
+        assert!(fc.take_new_losses(SimInstant::from_secs(1.0)).is_empty());
+        assert_eq!(
+            fc.take_new_losses(SimInstant::from_secs(3.0)),
+            vec![NodeId(1)]
+        );
+        assert!(fc.take_new_losses(SimInstant::from_secs(4.0)).is_empty());
+        assert_eq!(fc.dead_nodes(SimInstant::from_secs(4.0)), vec![NodeId(1)]);
+    }
+}

@@ -26,6 +26,8 @@
 //! * [`costmodel`] — calibrated constants ([`costmodel::CostModel`]).
 //! * [`work`] — per-task work counters.
 //! * [`sched`] — the virtual list scheduler.
+//! * [`fault`] — seeded fault injection (crashes, node loss, stragglers) and
+//!   Spark-style recovery scheduling (retries, blacklisting, speculation).
 //! * [`hdfs`] — simulated HDFS with real file contents, blocks and replicas.
 //! * [`metrics`] — the virtual clock, counters and the span log (job →
 //!   stage → task) shared by engines.
@@ -35,6 +37,7 @@
 
 pub mod bytes;
 pub mod costmodel;
+pub mod fault;
 pub mod hash;
 pub mod hdfs;
 pub mod json;
@@ -50,6 +53,11 @@ pub mod work;
 
 pub use bytes::{slice_bytes, ByteSize};
 pub use costmodel::CostModel;
+pub use fault::{
+    FaultController, FaultError, FaultPlan, FaultySchedule, RecoveryCounters,
+    DEFAULT_BLACKLIST_AFTER, DEFAULT_MAX_TASK_FAILURES, DEFAULT_RESUBMIT_DELAY,
+    DEFAULT_SPECULATION_MULTIPLIER,
+};
 pub use hash::{bucket_of, fx_hash64, FxHashMap, FxHashSet, FxHasher};
 pub use hdfs::{BlockInfo, DfsError, DfsFile, SimHdfs, Split};
 pub use metrics::{
@@ -83,6 +91,7 @@ struct ClusterInner {
     hdfs: SimHdfs,
     metrics: Metrics,
     pool: ThreadPool,
+    faults: FaultController,
 }
 
 impl SimCluster {
@@ -108,6 +117,7 @@ impl SimCluster {
                 hdfs,
                 metrics: Metrics::new(),
                 pool: ThreadPool::new(threads.max(1)),
+                faults: FaultController::new(),
             }),
         }
     }
@@ -141,6 +151,12 @@ impl SimCluster {
     /// The real thread pool tasks execute on.
     pub fn pool(&self) -> &ThreadPool {
         &self.inner.pool
+    }
+
+    /// Fault injection controller (inert until a [`FaultPlan`] is set or a
+    /// node is killed).
+    pub fn faults(&self) -> &FaultController {
+        &self.inner.faults
     }
 
     /// Convenience: a fresh [`VirtualScheduler`] for this cluster's topology.

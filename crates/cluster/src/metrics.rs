@@ -20,6 +20,7 @@
 //! prints them). Engines record stages through [`Metrics::record_stage`],
 //! which advances the clock and files all three granularities atomically.
 
+use crate::fault::RecoveryCounters;
 use crate::spec::NodeId;
 use crate::sync::Mutex;
 use crate::time::{SimDuration, SimInstant};
@@ -112,6 +113,9 @@ pub struct StageSpan {
     pub tasks: u64,
     /// Merged profile over the stage's tasks.
     pub profile: TaskProfile,
+    /// Failures, retries and speculation this stage went through (all zero
+    /// for a fault-free stage).
+    pub recovery: RecoveryCounters,
 }
 
 impl StageSpan {
@@ -207,6 +211,8 @@ pub struct MetricsSnapshot {
     pub work: WorkCounters,
     /// Merged full profile across all tasks.
     pub profile: TaskProfile,
+    /// Merged failure/retry/speculation counters across all stages.
+    pub recovery: RecoveryCounters,
 }
 
 /// How many entries each bounded log has discarded (oldest first).
@@ -287,6 +293,7 @@ struct MetricsInner {
     tasks: u64,
     work: WorkCounters,
     profile: TaskProfile,
+    recovery: RecoveryCounters,
     next_job_id: u64,
     next_stage_id: u64,
     /// Innermost-last stack of jobs opened via [`Metrics::begin_job`].
@@ -306,6 +313,7 @@ impl MetricsInner {
             tasks: 0,
             work: WorkCounters::new(),
             profile: TaskProfile::new(),
+            recovery: RecoveryCounters::default(),
             next_job_id: 1,
             next_stage_id: 1,
             open_jobs: Vec::new(),
@@ -441,6 +449,16 @@ impl Metrics {
     /// spans, a flat event, and merges the profiles into the aggregates.
     /// Returns the assigned stage id.
     pub fn record_stage(&self, exec: StageExecution) -> u64 {
+        self.record_stage_with_recovery(exec, RecoveryCounters::default())
+    }
+
+    /// Like [`Metrics::record_stage`], also attaching the stage's
+    /// failure/retry/speculation counters (merged into the aggregates).
+    pub fn record_stage_with_recovery(
+        &self,
+        exec: StageExecution,
+        recovery: RecoveryCounters,
+    ) -> u64 {
         let mut g = self.inner.lock();
         let stage_id = g.next_stage_id;
         g.next_stage_id += 1;
@@ -488,12 +506,20 @@ impl Metrics {
             duration,
             tasks: exec.tasks.len() as u64,
             profile: merged,
+            recovery,
         });
         g.stages += 1;
         g.tasks += exec.tasks.len() as u64;
         g.work.merge(&merged.work);
         g.profile.merge(&merged);
+        g.recovery.merge(&recovery);
         stage_id
+    }
+
+    /// Merge engine-level recovery counters (node losses, fetch failures,
+    /// lineage recomputations) into the aggregates, outside any stage.
+    pub fn note_recovery(&self, counters: &RecoveryCounters) {
+        self.inner.lock().recovery.merge(counters);
     }
 
     /// Count a finished job (legacy path for engines not using
@@ -526,6 +552,7 @@ impl Metrics {
             tasks: g.tasks,
             work: g.work,
             profile: g.profile,
+            recovery: g.recovery,
         }
     }
 

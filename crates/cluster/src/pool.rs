@@ -75,19 +75,24 @@ impl ThreadPool {
         struct BatchState<T> {
             results: Vec<Option<T>>,
             remaining: usize,
-            panicked: bool,
+            /// First panic payload caught in this batch, re-thrown on the
+            /// caller thread so the original message survives.
+            panic: Option<Box<dyn std::any::Any + Send>>,
         }
 
         let batch = Arc::new(Batch {
             lock: Mutex::new(BatchState {
                 results: (0..n).map(|_| None).collect(),
                 remaining: n,
-                panicked: false,
+                panic: None,
             }),
             cv: Condvar::new(),
         });
         let f = Arc::new(f);
-        let tx = self.tx.as_ref().expect("pool is shut down");
+        let tx = self
+            .tx
+            .as_ref()
+            .expect("thread pool is shut down: the owning SimCluster was dropped while a stage was still submitting tasks");
 
         for (idx, item) in items.into_iter().enumerate() {
             let batch = Arc::clone(&batch);
@@ -103,26 +108,38 @@ impl ThreadPool {
                 let mut st = batch.lock.lock();
                 match out {
                     Ok(v) => st.results[idx] = Some(v),
-                    Err(_) => st.panicked = true,
+                    Err(payload) => {
+                        // Keep the first payload; later panics in the same
+                        // batch are usually knock-on effects.
+                        if st.panic.is_none() {
+                            st.panic = Some(payload);
+                        }
+                    }
                 }
                 st.remaining -= 1;
                 if st.remaining == 0 {
                     batch.cv.notify_all();
                 }
             }))
-            .expect("worker channel closed");
+            .expect("worker threads exited before the batch was queued: the pool's channel closed unexpectedly");
         }
 
         let mut st = batch.lock.lock();
         while st.remaining > 0 {
             st = batch.cv.wait(st);
         }
-        if st.panicked {
-            panic!("a task in the worker pool panicked");
+        if let Some(payload) = st.panic.take() {
+            // Re-throw the original task panic (message intact) on the
+            // caller thread, after the whole batch drained.
+            drop(st);
+            std::panic::resume_unwind(payload);
         }
         st.results
             .iter_mut()
-            .map(|slot| slot.take().expect("every task produced a result"))
+            .map(|slot| {
+                slot.take()
+                    .expect("batch accounting bug: remaining hit zero but a result slot is empty")
+            })
             .collect()
     }
 }
@@ -215,8 +232,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker pool panicked")]
-    fn panics_propagate() {
+    #[should_panic(expected = "boom")]
+    fn panics_propagate_with_original_message() {
         let pool = ThreadPool::new(2);
         pool.map(vec![0, 1, 2], |_, x: i32| {
             if x == 1 {

@@ -65,7 +65,7 @@ pub fn stage_report(metrics: &Metrics) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}",
+        "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}  {:>12}",
         "stage",
         "label",
         "tasks",
@@ -75,7 +75,8 @@ pub fn stage_report(metrics: &Metrics) -> String {
         "strag",
         "shuf.read",
         "shuf.write",
-        "cache"
+        "cache",
+        "recovery"
     );
     for s in &stages {
         let mine: Vec<&TaskSpan> = tasks.iter().filter(|t| t.stage_id == s.stage_id).collect();
@@ -110,9 +111,20 @@ pub fn stage_report(metrics: &Metrics) -> String {
             label.truncate(31);
             label.push_str("...");
         }
+        // Compact failures/retries/speculative-launch counts, `-` for a
+        // fault-free stage.
+        let r = &s.recovery;
+        let recovery = if r.any() {
+            format!(
+                "{}f {}r {}s",
+                r.task_failures, r.task_retries, r.speculative_launched
+            )
+        } else {
+            "-".to_string()
+        };
         let _ = writeln!(
             out,
-            "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}",
+            "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}  {:>12}",
             s.stage_id,
             label,
             s.tasks,
@@ -122,7 +134,8 @@ pub fn stage_report(metrics: &Metrics) -> String {
             strag,
             fmt_bytes(s.profile.shuffle_read_bytes),
             fmt_bytes(s.profile.shuffle_write_bytes),
-            cache
+            cache,
+            recovery
         );
     }
     if stages.is_empty() {
@@ -244,6 +257,24 @@ pub fn full_report(metrics: &Metrics) -> String {
         fmt_bytes(p.broadcast_read_bytes),
         cache
     );
+    let r = &snap.recovery;
+    if r.any() {
+        let _ = writeln!(
+            out,
+            "recovery: {} task failures | {} retries | {} speculative ({} won) | \
+             {} nodes lost | {} blacklisted | {} partitions recomputed | \
+             {} fetch failures | {} broadcast re-fetches",
+            r.task_failures,
+            r.task_retries,
+            r.speculative_launched,
+            r.speculative_wins,
+            r.nodes_lost,
+            r.nodes_blacklisted,
+            r.recomputed_partitions,
+            r.fetch_failures,
+            r.broadcast_refetches
+        );
+    }
     out
 }
 
@@ -333,6 +364,54 @@ mod tests {
         let report = full_report(&m);
         assert!(report.contains("WARNING"), "{report}");
         assert!(report.contains("tasks: 2"), "{report}");
+    }
+
+    #[test]
+    fn recovery_counters_show_in_stage_row_and_totals() {
+        use crate::fault::RecoveryCounters;
+        let m = Metrics::new();
+        m.record_stage_with_recovery(
+            StageExecution {
+                label: "flaky stage".into(),
+                kind: EventKind::Stage,
+                shuffle_id: None,
+                overhead: SimDuration::ZERO,
+                trailing: SimDuration::ZERO,
+                tasks: vec![task(0, 1.0, TaskProfile::new())],
+            },
+            RecoveryCounters {
+                task_failures: 3,
+                task_retries: 2,
+                speculative_launched: 1,
+                speculative_wins: 1,
+                ..RecoveryCounters::default()
+            },
+        );
+        m.note_recovery(&RecoveryCounters {
+            nodes_lost: 1,
+            recomputed_partitions: 5,
+            ..RecoveryCounters::default()
+        });
+        let table = stage_report(&m);
+        assert!(table.contains("3f 2r 1s"), "{table}");
+        let report = full_report(&m);
+        assert!(report.contains("3 task failures"), "{report}");
+        assert!(report.contains("1 nodes lost"), "{report}");
+        assert!(report.contains("5 partitions recomputed"), "{report}");
+    }
+
+    #[test]
+    fn fault_free_report_has_no_recovery_line() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "clean".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 1.0, TaskProfile::new())],
+        });
+        assert!(!full_report(&m).contains("recovery:"));
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl VirtualScheduler {
         &self.spec
     }
 
+    /// Delay-scheduling wait before a task gives up on locality.
+    pub fn locality_wait(&self) -> SimDuration {
+        self.locality_wait
+    }
+
     /// Schedule `tasks` (in order) and return the outcome.
     pub fn schedule(&self, tasks: &[TaskSpec]) -> ScheduleOutcome {
         self.schedule_detailed(tasks).outcome

@@ -31,8 +31,8 @@ use crate::types::{
     JVM_TREE_VISIT_UNITS,
 };
 use std::sync::Arc;
-use yafim_cluster::{slice_bytes, DfsError, EventKind, FxHashSet, SimCluster};
-use yafim_mapreduce::{Emitter, MapReduceJob, MrRunner};
+use yafim_cluster::{slice_bytes, EventKind, FxHashSet, SimCluster};
+use yafim_mapreduce::{Emitter, MapReduceJob, MrError, MrRunner};
 
 /// Abstract CPU units per naive candidate subset-check (a short merge scan
 /// over two sorted lists in the Java baseline).
@@ -181,7 +181,7 @@ impl MrApriori {
     }
 
     /// Mine the text dataset at `input` on simulated HDFS.
-    pub fn mine(&self, input: &str) -> Result<MinerRun, DfsError> {
+    pub fn mine(&self, input: &str) -> Result<MinerRun, MrError> {
         let cluster = self.runner.cluster().clone();
         let metrics = cluster.metrics().clone();
         let cost = cluster.cost().clone();

@@ -6,9 +6,49 @@ use crate::job::{MapReduceJob, MrKey, MrValue};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use yafim_cluster::{
-    bucket_of, slice_bytes, DfsError, DfsFile, EventKind, SimCluster, SimDuration, StageExecution,
-    TaskExecution, TaskProfile, TaskSpec, WorkCounters,
+    bucket_of, slice_bytes, DetailedSchedule, DfsError, DfsFile, EventKind, FaultError,
+    RecoveryCounters, SimCluster, SimDuration, StageExecution, TaskExecution, TaskProfile,
+    TaskSpec, WorkCounters,
 };
+
+/// Why a MapReduce job failed: the input is missing, or the active fault
+/// plan exhausted some task's retry budget.
+#[derive(Clone, Debug)]
+pub enum MrError {
+    /// HDFS input/output error.
+    Dfs(DfsError),
+    /// A task wave aborted under the active fault plan.
+    Fault {
+        /// The wave that aborted (`"<job>: map"` or `"<job>: reduce"`).
+        stage: String,
+        /// The underlying scheduler failure.
+        source: FaultError,
+    },
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::Dfs(e) => write!(f, "{e}"),
+            MrError::Fault { stage, source } => write!(f, "stage `{stage}` aborted: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Dfs(e) => Some(e),
+            MrError::Fault { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<DfsError> for MrError {
+    fn from(e: DfsError) -> Self {
+        MrError::Dfs(e)
+    }
+}
 
 /// Aggregate facts about one executed job.
 #[derive(Clone, Copy, Debug, Default)]
@@ -55,11 +95,43 @@ impl MrRunner {
         &self.cluster
     }
 
+    /// Schedule one task wave, through the fault-aware path when a fault
+    /// plan is active on the cluster.
+    fn schedule_wave(
+        &self,
+        label: &str,
+        specs: &[TaskSpec],
+        retry_extra: Option<&[SimDuration]>,
+    ) -> Result<(DetailedSchedule, RecoveryCounters, SimDuration), MrError> {
+        let faults = self.cluster.faults();
+        if faults.active() {
+            let fs = faults
+                .schedule_stage(
+                    &self.cluster.scheduler(),
+                    specs,
+                    retry_extra,
+                    self.cluster.metrics().now(),
+                )
+                .map_err(|source| MrError::Fault {
+                    stage: label.to_string(),
+                    source,
+                })?;
+            let pad = fs.trailing_pad();
+            Ok((fs.schedule, fs.recovery, pad))
+        } else {
+            Ok((
+                self.cluster.scheduler().schedule_detailed(specs),
+                RecoveryCounters::default(),
+                SimDuration::ZERO,
+            ))
+        }
+    }
+
     /// Execute one job: map → shuffle/sort → reduce → commit.
     pub fn run<KM: MrKey, VM: MrValue, KO: MrValue, VO: MrValue>(
         &self,
         job: MapReduceJob<KM, VM, KO, VO>,
-    ) -> Result<MrJobResult<KO, VO>, DfsError> {
+    ) -> Result<MrJobResult<KO, VO>, MrError> {
         let cluster = &self.cluster;
         let cost = cluster.cost().clone();
         let spec = cluster.spec().clone();
@@ -176,7 +248,10 @@ impl MrRunner {
                     (buckets, profile)
                 });
 
-        // Charge the map wave.
+        // Charge the map wave. A retried map attempt cannot read its local
+        // HDFS block again (the original attempt's machine may be the one
+        // that failed), so retries pay a remote read from a surviving
+        // replica on top of the base task cost.
         let task_specs: Vec<TaskSpec> = map_outs
             .iter()
             .zip(&splits)
@@ -187,29 +262,97 @@ impl MrRunner {
                 )
             })
             .collect();
-        let detailed = cluster.scheduler().schedule_detailed(&task_specs);
-        metrics.record_stage(StageExecution {
-            label: format!("{}: map", job.name),
-            kind: EventKind::Stage,
-            shuffle_id: None,
-            overhead: SimDuration::ZERO,
-            // Each map wave ends on a heartbeat boundary.
-            trailing: SimDuration::from_secs(cost.mr_wave_latency) * detailed.outcome.waves as f64,
-            tasks: detailed
-                .placements
-                .iter()
-                .zip(&map_outs)
-                .enumerate()
-                .map(|(i, (pl, (_, p)))| TaskExecution {
-                    partition: i,
-                    node: pl.node,
-                    core: pl.core,
-                    start: pl.start,
-                    duration: pl.duration,
-                    profile: *p,
-                })
-                .collect(),
-        });
+        let reread: Vec<SimDuration> = splits.iter().map(|s| cost.net_transfer(s.bytes)).collect();
+        let map_label = format!("{}: map", job.name);
+        let (detailed, recovery, pad) =
+            self.schedule_wave(&map_label, &task_specs, Some(&reread))?;
+        metrics.record_stage_with_recovery(
+            StageExecution {
+                label: map_label,
+                kind: EventKind::Stage,
+                shuffle_id: None,
+                overhead: SimDuration::ZERO,
+                // Each map wave ends on a heartbeat boundary.
+                trailing: SimDuration::from_secs(cost.mr_wave_latency)
+                    * detailed.outcome.waves as f64
+                    + pad,
+                tasks: detailed
+                    .placements
+                    .iter()
+                    .zip(&map_outs)
+                    .enumerate()
+                    .map(|(i, (pl, (_, p)))| TaskExecution {
+                        partition: i,
+                        node: pl.node,
+                        core: pl.core,
+                        start: pl.start,
+                        duration: pl.duration,
+                        profile: *p,
+                    })
+                    .collect(),
+            },
+            recovery,
+        );
+
+        // A node lost between map and reduce takes its completed map outputs
+        // with it (they live on local disk, not in HDFS): re-execute just
+        // those map tasks, reading the input from surviving block replicas.
+        let faults = cluster.faults();
+        if faults.active() {
+            let dead = faults.take_new_losses(metrics.now());
+            if !dead.is_empty() {
+                let lost: Vec<usize> = detailed
+                    .placements
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pl)| dead.contains(&pl.node))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut rec = RecoveryCounters {
+                    nodes_lost: dead.len() as u64,
+                    fetch_failures: lost.len() as u64,
+                    recomputed_partitions: lost.len() as u64,
+                    ..RecoveryCounters::default()
+                };
+                if lost.is_empty() {
+                    metrics.note_recovery(&rec);
+                } else {
+                    let resubmit_label = format!("{}: map (resubmit)", job.name);
+                    let resubmit_specs: Vec<TaskSpec> = lost
+                        .iter()
+                        .map(|&i| TaskSpec::anywhere(task_specs[i].duration + reread[i]))
+                        .collect();
+                    let (re_detailed, re_recovery, re_pad) =
+                        self.schedule_wave(&resubmit_label, &resubmit_specs, None)?;
+                    rec.merge(&re_recovery);
+                    metrics.record_stage_with_recovery(
+                        StageExecution {
+                            label: resubmit_label,
+                            kind: EventKind::Stage,
+                            shuffle_id: None,
+                            overhead: SimDuration::ZERO,
+                            trailing: SimDuration::from_secs(cost.mr_wave_latency)
+                                * re_detailed.outcome.waves as f64
+                                + re_pad,
+                            tasks: re_detailed
+                                .placements
+                                .iter()
+                                .zip(&lost)
+                                .map(|(pl, &orig)| TaskExecution {
+                                    partition: orig,
+                                    node: pl.node,
+                                    core: pl.core,
+                                    start: pl.start,
+                                    duration: pl.duration,
+                                    profile: map_outs[orig].1,
+                                })
+                                .collect(),
+                        },
+                        rec,
+                    );
+                }
+            }
+        }
 
         // ---- shuffle: concatenate buckets in map-task order ----
         let mut buckets: Vec<Vec<(KM, VM)>> = (0..reduce_tasks).map(|_| Vec::new()).collect();
@@ -290,28 +433,34 @@ impl MrRunner {
                 )
             })
             .collect();
-        let detailed = cluster.scheduler().schedule_detailed(&task_specs);
-        metrics.record_stage(StageExecution {
-            label: format!("{}: reduce", job.name),
-            kind: EventKind::Stage,
-            shuffle_id: None,
-            overhead: SimDuration::ZERO,
-            trailing: SimDuration::from_secs(cost.mr_wave_latency) * detailed.outcome.waves as f64,
-            tasks: detailed
-                .placements
-                .iter()
-                .zip(&reduce_outs)
-                .enumerate()
-                .map(|(i, (pl, (_, _, p)))| TaskExecution {
-                    partition: i,
-                    node: pl.node,
-                    core: pl.core,
-                    start: pl.start,
-                    duration: pl.duration,
-                    profile: *p,
-                })
-                .collect(),
-        });
+        let reduce_label = format!("{}: reduce", job.name);
+        let (detailed, recovery, pad) = self.schedule_wave(&reduce_label, &task_specs, None)?;
+        metrics.record_stage_with_recovery(
+            StageExecution {
+                label: reduce_label,
+                kind: EventKind::Stage,
+                shuffle_id: None,
+                overhead: SimDuration::ZERO,
+                trailing: SimDuration::from_secs(cost.mr_wave_latency)
+                    * detailed.outcome.waves as f64
+                    + pad,
+                tasks: detailed
+                    .placements
+                    .iter()
+                    .zip(&reduce_outs)
+                    .enumerate()
+                    .map(|(i, (pl, (_, _, p)))| TaskExecution {
+                        partition: i,
+                        node: pl.node,
+                        core: pl.core,
+                        start: pl.start,
+                        duration: pl.duration,
+                        profile: *p,
+                    })
+                    .collect(),
+            },
+            recovery,
+        );
 
         // ---- commit & gather ----
         let mut pairs = Vec::new();

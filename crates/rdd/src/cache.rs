@@ -71,6 +71,9 @@ struct Entry {
 struct DiskEntry {
     data: Arc<dyn Any + Send + Sync>,
     bytes: u64,
+    /// Node whose local disk holds the spilled partition (node loss drops
+    /// the disk tier too).
+    node: usize,
 }
 
 struct Inner {
@@ -182,7 +185,7 @@ impl CacheManager {
                 StorageLevel::MemoryOnly => false,
                 StorageLevel::MemoryAndDisk => {
                     g.disk_used += bytes;
-                    g.disk.insert((rdd, part), DiskEntry { data, bytes });
+                    g.disk.insert((rdd, part), DiskEntry { data, bytes, node });
                     true
                 }
             };
@@ -208,6 +211,7 @@ impl CacheManager {
                             DiskEntry {
                                 data: e.data,
                                 bytes: e.bytes,
+                                node: e.node,
                             },
                         );
                     }
@@ -244,6 +248,35 @@ impl CacheManager {
             found = true;
         }
         found
+    }
+
+    /// Drop every partition held on one node, both tiers — what losing the
+    /// node's executor and its local disk means for the block manager.
+    /// Returns how many partitions were lost (each will be recomputed
+    /// through its lineage on the next read).
+    pub fn evict_node(&self, node: usize) -> usize {
+        let mut g = self.inner.lock();
+        let mem_keys: Vec<_> = g
+            .entries
+            .iter()
+            .filter(|(_, e)| e.node == node)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &mem_keys {
+            let e = g.entries.remove(k).expect("key just listed");
+            g.used[e.node] -= e.bytes;
+        }
+        let disk_keys: Vec<_> = g
+            .disk
+            .iter()
+            .filter(|(_, e)| e.node == node)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &disk_keys {
+            let e = g.disk.remove(k).expect("key just listed");
+            g.disk_used -= e.bytes;
+        }
+        mem_keys.len() + disk_keys.len()
     }
 
     /// Drop every cached partition of an RDD, both tiers (unpersist).
@@ -423,6 +456,37 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.entries, s.disk_entries), (1, 0));
         assert!(c.get::<u8>(8, 0).is_some());
+    }
+
+    #[test]
+    fn evict_node_drops_both_tiers_on_that_node_only() {
+        let c = mgr(100);
+        // Node 0: one resident, one spilled (second put evicts the first to
+        // disk, both on node 0). Node 1: untouched resident.
+        c.put(
+            1,
+            0,
+            0,
+            Arc::new(vec![1u32]),
+            60,
+            StorageLevel::MemoryAndDisk,
+        );
+        c.put(
+            1,
+            1,
+            0,
+            Arc::new(vec![2u32]),
+            60,
+            StorageLevel::MemoryAndDisk,
+        );
+        assert!(mem_put(&c, 2, 0, 1, 10));
+        assert_eq!(c.evict_node(0), 2, "resident + spilled on node 0");
+        assert!(c.get::<u32>(1, 0).is_none());
+        assert!(c.get::<u32>(1, 1).is_none());
+        assert!(c.get::<u8>(2, 0).is_some(), "node 1 untouched");
+        let s = c.stats();
+        assert_eq!((s.entries, s.disk_entries, s.disk_bytes), (1, 0, 0));
+        assert_eq!(c.evict_node(0), 0, "idempotent");
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub(crate) struct CtxInner {
     pub(crate) shuffles: ShuffleRegistry,
     pub(crate) config: RddConfig,
     next_id: AtomicU64,
+    /// Total broadcast bytes shipped so far — the basis for the re-fetch
+    /// charge when a node (and its torrent blocks) is lost.
+    broadcast_total: AtomicU64,
 }
 
 /// Driver handle: creates RDDs and broadcast variables over one cluster.
@@ -77,6 +80,7 @@ impl Context {
                 shuffles: ShuffleRegistry::new(),
                 config,
                 next_id: AtomicU64::new(1),
+                broadcast_total: AtomicU64::new(0),
                 cluster,
             }),
         }
@@ -108,6 +112,11 @@ impl Context {
 
     pub(crate) fn shuffles(&self) -> &ShuffleRegistry {
         &self.inner.shuffles
+    }
+
+    /// Total bytes shipped through [`Context::broadcast`] so far.
+    pub(crate) fn broadcast_bytes(&self) -> u64 {
+        self.inner.broadcast_total.load(Ordering::Relaxed)
     }
 
     /// Distribute an in-memory collection as an RDD with
@@ -169,6 +178,9 @@ impl Context {
             EventKind::Broadcast,
             format!("broadcast {bytes}B"),
         );
+        self.inner
+            .broadcast_total
+            .fetch_add(bytes, Ordering::Relaxed);
         Broadcast {
             value: Arc::new(value),
             bytes,

@@ -10,6 +10,18 @@
 //! under the cost model, list-schedules those durations onto the virtual
 //! cluster, and advances the shared virtual clock by the stage overhead plus
 //! the makespan.
+//!
+//! When a [`yafim_cluster::FaultPlan`] is active on the cluster, scheduling
+//! goes through the fault-aware path instead: task attempts can crash or die
+//! with their node and are retried (bounded by `max_task_failures`),
+//! stragglers on slow nodes get speculative copies, and the stage's
+//! [`yafim_cluster::RecoveryCounters`] are attached to its span. Real
+//! execution still happens exactly once per partition, so results are
+//! byte-identical to a fault-free run — only virtual time grows. Node losses
+//! additionally invalidate data *between* stages: cached partitions are
+//! evicted (recomputed through lineage on the next read), shuffle map
+//! outputs are marked lost (resubmitted by the next consumer), and broadcast
+//! blocks are re-fetched.
 
 use crate::context::Context;
 use crate::rdd::{materialize, node_for, Data, Rdd, RddImpl};
@@ -17,9 +29,45 @@ use crate::shuffle::ShuffleStage;
 use crate::task::TaskContext;
 use std::sync::Arc;
 use yafim_cluster::{
-    slice_bytes, EventKind, NodeId, SimDuration, StageExecution, TaskExecution, TaskProfile,
-    TaskSpec,
+    slice_bytes, EventKind, FaultError, NodeId, RecoveryCounters, SimDuration, StageExecution,
+    TaskExecution, TaskProfile, TaskSpec,
 };
+
+/// A stage could not complete under the active fault plan: some task
+/// exhausted its retry budget or no healthy node was left to run it.
+#[derive(Clone, Debug)]
+pub struct ExecError {
+    /// Label of the stage that aborted.
+    pub stage: String,
+    /// The underlying scheduler failure.
+    pub source: FaultError,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage `{}` aborted: {}", self.stage, self.source)
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What one node loss took with it (returned by
+/// [`FaultInjection::lose_node`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeLossReport {
+    /// The node that died.
+    pub node: NodeId,
+    /// Cached partitions (memory + disk tier) the node held; each will be
+    /// recomputed through its lineage on the next read.
+    pub cached_partitions_dropped: usize,
+    /// Shuffle map outputs the node held; the next consumer resubmits just
+    /// those map tasks.
+    pub map_outputs_lost: usize,
+}
 
 /// A task body: partition index + task context → per-partition result.
 pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &mut TaskContext) -> R + Send + Sync>;
@@ -28,8 +76,13 @@ pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &mut TaskContext) -> R + Send + Sy
 /// virtual time charged to the cluster clock. Every task is placed on a
 /// virtual node/core by the scheduler and recorded as a task span, parented
 /// to this stage (and to the enclosing job, if any). Returns per-partition
-/// results in partition order.
-pub(crate) fn run_stage<R: Send + 'static>(
+/// results in partition order, plus the node each task's *winning* attempt
+/// ran on (shuffle map-output provenance).
+///
+/// With an active fault plan, placement goes through
+/// [`yafim_cluster::FaultController::schedule_stage`]; pending node losses
+/// are applied before the stage starts.
+pub(crate) fn try_run_stage<R: Send + 'static>(
     ctx: &Context,
     label: String,
     kind: EventKind,
@@ -37,10 +90,12 @@ pub(crate) fn run_stage<R: Send + 'static>(
     partitions: usize,
     preferred: Vec<Option<NodeId>>,
     task: TaskFn<R>,
-) -> Vec<R> {
+) -> Result<(Vec<R>, Vec<NodeId>), ExecError> {
     assert_eq!(preferred.len(), partitions);
     let cluster = ctx.cluster().clone();
     let spec = cluster.spec().clone();
+
+    sync_node_losses(ctx);
 
     let preferred_for_tasks = preferred.clone();
     let outcomes: Vec<(R, TaskProfile)> =
@@ -64,7 +119,29 @@ pub(crate) fn run_stage<R: Send + 'static>(
         })
         .collect();
 
-    let detailed = cluster.scheduler().schedule_detailed(&specs);
+    let faults = cluster.faults();
+    let (detailed, recovery, trailing) = if faults.active() {
+        // Node-loss instants are absolute; anchor them to this stage's task
+        // window (stage start + overhead).
+        let window_start =
+            cluster.metrics().now() + SimDuration::from_secs(cost.spark_stage_overhead);
+        let fs = faults
+            .schedule_stage(&cluster.scheduler(), &specs, None, window_start)
+            .map_err(|source| ExecError {
+                stage: label.clone(),
+                source,
+            })?;
+        let pad = fs.trailing_pad();
+        (fs.schedule, fs.recovery, pad)
+    } else {
+        (
+            cluster.scheduler().schedule_detailed(&specs),
+            RecoveryCounters::default(),
+            SimDuration::ZERO,
+        )
+    };
+
+    let executed_on: Vec<NodeId> = detailed.placements.iter().map(|p| p.node).collect();
     let tasks: Vec<TaskExecution> = detailed
         .placements
         .iter()
@@ -80,41 +157,119 @@ pub(crate) fn run_stage<R: Send + 'static>(
         })
         .collect();
 
-    cluster.metrics().record_stage(StageExecution {
-        label,
-        kind,
-        shuffle_id,
-        overhead: SimDuration::from_secs(cost.spark_stage_overhead),
-        trailing: SimDuration::ZERO,
-        tasks,
-    });
+    cluster.metrics().record_stage_with_recovery(
+        StageExecution {
+            label,
+            kind,
+            shuffle_id,
+            overhead: SimDuration::from_secs(cost.spark_stage_overhead),
+            trailing,
+            tasks,
+        },
+        recovery,
+    );
 
-    outcomes.into_iter().map(|(r, _)| r).collect()
+    Ok((outcomes.into_iter().map(|(r, _)| r).collect(), executed_on))
 }
 
-/// Prepare (run) every shuffle stage the lineage of `imp` depends on.
-fn prepare_shuffles<T: Data>(imp: &Arc<dyn RddImpl<T>>) {
-    let mut deps: Vec<Arc<dyn ShuffleStage>> = Vec::new();
-    imp.collect_shuffle_deps(&mut deps);
-    // The same shuffle can appear twice in one lineage (e.g. a union of two
-    // branches over the same reduced RDD); prepare it once.
-    let mut seen = std::collections::HashSet::new();
-    for d in deps {
-        if seen.insert(d.shuffle_id()) {
-            d.prepare();
+/// Apply the data-loss side effects of every planned node loss whose virtual
+/// instant has passed (each exactly once): evict the node's cached
+/// partitions, mark its shuffle map outputs lost, charge the broadcast
+/// re-fetch. Returns one report per newly-applied loss.
+pub(crate) fn sync_node_losses(ctx: &Context) -> Vec<NodeLossReport> {
+    let faults = ctx.cluster().faults().clone();
+    if !faults.active() {
+        return Vec::new();
+    }
+    let now = ctx.metrics().now();
+    faults
+        .take_new_losses(now)
+        .into_iter()
+        .map(|node| apply_node_loss(ctx, node))
+        .collect()
+}
+
+/// Invalidate everything `node` held and charge the recovery traffic. The
+/// lost data is *not* recomputed here — lineage does that lazily: the next
+/// cache read recomputes the partition, the next shuffle consumer resubmits
+/// the lost map tasks.
+pub(crate) fn apply_node_loss(ctx: &Context, node: NodeId) -> NodeLossReport {
+    let cached = ctx.cache().evict_node(node.index());
+    let map_lost = ctx.shuffles().mark_node_lost(node);
+    let metrics = ctx.metrics().clone();
+    let cost = ctx.cluster().cost().clone();
+
+    let mut rec = RecoveryCounters {
+        nodes_lost: 1,
+        recomputed_partitions: cached as u64,
+        ..RecoveryCounters::default()
+    };
+
+    // Torrent blocks the dead executor served are re-replicated from the
+    // survivors: charge the dead node's share of all broadcast bytes.
+    let bcast = ctx.broadcast_bytes();
+    let nodes = ctx.cluster().spec().nodes as u64;
+    let refetch = bcast / nodes.max(1);
+    if refetch > 0 {
+        metrics.advance_with_event(
+            cost.net_transfer(refetch),
+            EventKind::Broadcast,
+            format!("broadcast re-fetch after {node} loss ({refetch}B)"),
+        );
+        rec.broadcast_refetches = 1;
+    }
+
+    metrics.advance_with_event(
+        SimDuration::ZERO,
+        EventKind::Other,
+        format!(
+            "{node} lost: {cached} cached partitions dropped, \
+             {map_lost} shuffle map outputs lost"
+        ),
+    );
+    metrics.note_recovery(&rec);
+    NodeLossReport {
+        node,
+        cached_partitions_dropped: cached,
+        map_outputs_lost: map_lost,
+    }
+}
+
+/// Prepare (run) every shuffle stage the lineage of `imp` depends on, and
+/// keep repairing until all of them are complete: preparing advances the
+/// virtual clock, so a planned node loss can trigger *while* preparing and
+/// invalidate map outputs just produced.
+fn prepare_shuffles<T: Data>(ctx: &Context, imp: &Arc<dyn RddImpl<T>>) -> Result<(), ExecError> {
+    loop {
+        let mut deps: Vec<Arc<dyn ShuffleStage>> = Vec::new();
+        imp.collect_shuffle_deps(&mut deps);
+        // The same shuffle can appear twice in one lineage (e.g. a union of
+        // two branches over the same reduced RDD); prepare it once.
+        let mut seen = std::collections::HashSet::new();
+        for d in &deps {
+            if seen.insert(d.shuffle_id()) {
+                d.prepare()?;
+            }
+        }
+        let no_new_losses = sync_node_losses(ctx).is_empty();
+        let all_complete = deps
+            .iter()
+            .all(|d| ctx.shuffles().is_complete(d.shuffle_id()));
+        if no_new_losses && all_complete {
+            return Ok(());
         }
     }
 }
 
 /// Run the final stage of a job, materializing each partition of `rdd`.
-fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Vec<Arc<Vec<T>>> {
+fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Result<Vec<Arc<Vec<T>>>, ExecError> {
     let imp = Arc::clone(&rdd.imp);
     let partitions = imp.num_partitions();
     let preferred: Vec<Option<NodeId>> = (0..partitions)
         .map(|p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
         .collect();
     let shuffle_read = imp.shuffle_read_id();
-    run_stage(
+    try_run_stage(
         &rdd.ctx,
         label,
         EventKind::Stage,
@@ -123,10 +278,11 @@ fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Vec<Arc<Vec<T>>> {
         preferred,
         Arc::new(move |part, tc| materialize(&imp, part, tc)),
     )
+    .map(|(parts, _)| parts)
 }
 
 /// The `collect` action.
-pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
+pub(crate) fn try_collect<T: Data>(rdd: &Rdd<T>) -> Result<Vec<T>, ExecError> {
     let ctx = &rdd.ctx;
     let metrics = ctx.metrics().clone();
     let job = metrics.begin_job(format!("collect rdd{}", rdd.id()));
@@ -134,26 +290,33 @@ pub(crate) fn collect<T: Data>(rdd: &Rdd<T>) -> Vec<T> {
         ctx.cluster().cost().spark_job_overhead,
     ));
 
-    prepare_shuffles(&rdd.imp);
-    let parts = run_final_stage(rdd, format!("collect rdd{}", rdd.id()));
+    let result = (|| {
+        prepare_shuffles(ctx, &rdd.imp)?;
+        let parts = run_final_stage(rdd, format!("collect rdd{}", rdd.id()))?;
 
-    // Results are serialized on the workers and fetched to the driver.
-    let result_bytes: u64 = parts.iter().map(|p| slice_bytes(p)).sum();
-    let cost = ctx.cluster().cost();
-    metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
+        // Results are serialized on the workers and fetched to the driver.
+        let result_bytes: u64 = parts.iter().map(|p| slice_bytes(p)).sum();
+        let cost = ctx.cluster().cost();
+        metrics.advance(cost.serialize(result_bytes) + cost.net_transfer(result_bytes));
 
+        // Losses that triggered during the final stage surface inside this
+        // job rather than lingering until the next action.
+        sync_node_losses(ctx);
+        Ok(parts)
+    })();
     metrics.end_job(job);
 
+    let parts = result?;
     let mut out = Vec::new();
     for p in parts {
         out.extend(p.iter().cloned());
     }
-    out
+    Ok(out)
 }
 
 /// The `count` action: computes every partition but only its length crosses
 /// the network.
-pub(crate) fn count<T: Data>(rdd: &Rdd<T>) -> u64 {
+pub(crate) fn try_count<T: Data>(rdd: &Rdd<T>) -> Result<u64, ExecError> {
     let ctx = &rdd.ctx;
     let metrics = ctx.metrics().clone();
     let job = metrics.begin_job(format!("count rdd{}", rdd.id()));
@@ -161,16 +324,20 @@ pub(crate) fn count<T: Data>(rdd: &Rdd<T>) -> u64 {
         ctx.cluster().cost().spark_job_overhead,
     ));
 
-    prepare_shuffles(&rdd.imp);
-    let parts = run_final_stage(rdd, format!("count rdd{}", rdd.id()));
-
+    let result = (|| {
+        prepare_shuffles(ctx, &rdd.imp)?;
+        let parts = run_final_stage(rdd, format!("count rdd{}", rdd.id()))?;
+        sync_node_losses(ctx);
+        Ok(parts)
+    })();
     metrics.end_job(job);
 
-    parts.iter().map(|p| p.len() as u64).sum()
+    Ok(result?.iter().map(|p| p.len() as u64).sum())
 }
 
 /// Fault injection helpers, exposed on [`Context`] via an extension trait so
-/// tests and the fault-tolerance example can knock pieces out mid-run.
+/// tests, the chaos bench and the fault-tolerance example can knock pieces
+/// out mid-run.
 pub trait FaultInjection {
     /// Drop one cached partition, as if its executor was lost. Returns
     /// whether anything was dropped. The next read recomputes via lineage.
@@ -179,6 +346,16 @@ pub trait FaultInjection {
     /// Drop a materialized shuffle output. The next action that reads it
     /// re-runs the map stage. Returns whether anything was dropped.
     fn drop_shuffle(&self, shuffle_id: u64) -> bool;
+
+    /// Kill a node *now* (at the current virtual time): the node takes no
+    /// further tasks, its cached partitions and shuffle map outputs are
+    /// invalidated, and broadcast blocks are re-fetched. Idempotent — a
+    /// second kill of the same node reports nothing new.
+    fn lose_node(&self, node: NodeId) -> NodeLossReport;
+
+    /// Alias for [`FaultInjection::drop_shuffle`], matching the
+    /// `lose_node` naming: drop one shuffle's map outputs wholesale.
+    fn lose_shuffle(&self, shuffle_id: u64) -> bool;
 
     /// Number of currently materialized shuffles (observability for tests).
     fn materialized_shuffles(&self) -> usize;
@@ -191,6 +368,24 @@ impl FaultInjection for Context {
 
     fn drop_shuffle(&self, shuffle_id: u64) -> bool {
         self.shuffles().invalidate(shuffle_id)
+    }
+
+    fn lose_node(&self, node: NodeId) -> NodeLossReport {
+        let now = self.metrics().now();
+        if self.cluster().faults().kill_node(node, now) {
+            apply_node_loss(self, node)
+        } else {
+            // Already dead: its data was already invalidated.
+            NodeLossReport {
+                node,
+                cached_partitions_dropped: 0,
+                map_outputs_lost: 0,
+            }
+        }
+    }
+
+    fn lose_shuffle(&self, shuffle_id: u64) -> bool {
+        self.drop_shuffle(shuffle_id)
     }
 
     fn materialized_shuffles(&self) -> usize {

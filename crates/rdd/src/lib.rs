@@ -50,7 +50,7 @@ mod task;
 
 pub use cache::{CacheManager, CacheStats, CacheTier, StorageLevel};
 pub use context::{Broadcast, BroadcastMode, Context, RddConfig};
-pub use exec::FaultInjection;
+pub use exec::{ExecError, FaultInjection, NodeLossReport};
 pub use rdd::{Data, Rdd};
 pub use task::TaskContext;
 
@@ -280,6 +280,96 @@ mod tests {
         let second = rdd.collect();
         assert_eq!(first, second);
         assert_eq!(c.materialized_shuffles(), 1, "map stage re-ran");
+    }
+
+    #[test]
+    fn lost_node_invalidates_cache_and_shuffle_and_recovers() {
+        use yafim_cluster::NodeId;
+        let c = ctx();
+        let cached = c
+            .parallelize_with_partitions((0u32..400).collect(), 8)
+            .map(|x| x / 2)
+            .cache();
+        let reduced = cached.map(|x| (x % 5, 1u64)).reduce_by_key(|a, b| a + b);
+        let baseline_cached = cached.collect();
+        let baseline_reduced = reduced.collect();
+
+        let report = c.lose_node(NodeId(1));
+        assert_eq!(report.node, NodeId(1));
+        assert!(
+            report.cached_partitions_dropped > 0,
+            "node 1 held cached partitions"
+        );
+        assert!(
+            report.map_outputs_lost > 0,
+            "node 1 held shuffle map outputs"
+        );
+        // The shuffle stays registered — only the dead node's map outputs
+        // are holed, to be resubmitted by the next consumer.
+        assert_eq!(c.materialized_shuffles(), 1);
+
+        let stages_before = c.metrics().snapshot().stages;
+        assert_eq!(cached.collect(), baseline_cached);
+        assert_eq!(reduced.collect(), baseline_reduced);
+        let snap = c.metrics().snapshot();
+        assert!(
+            snap.stages > stages_before + 1,
+            "a map resubmission stage must run in addition to the final stages"
+        );
+        assert_eq!(snap.recovery.nodes_lost, 1);
+        assert_eq!(
+            snap.recovery.fetch_failures as usize,
+            report.map_outputs_lost
+        );
+        assert!(snap.recovery.recomputed_partitions > 0);
+
+        // Killing the same node again is a no-op.
+        let again = c.lose_node(NodeId(1));
+        assert_eq!(again.cached_partitions_dropped, 0);
+        assert_eq!(again.map_outputs_lost, 0);
+    }
+
+    #[test]
+    fn planned_node_loss_mid_job_keeps_results_identical() {
+        use yafim_cluster::{FaultPlan, NodeId, SimDuration, SimInstant};
+        let job = |c: &Context| {
+            c.parallelize_with_partitions((0u32..500).map(|i| (i % 11, 1u64)).collect(), 10)
+                .reduce_by_key(|a, b| a + b)
+                .collect()
+        };
+        let healthy = ctx();
+        let expected = job(&healthy);
+        let healthy_time = healthy.metrics().now();
+
+        let c = ctx();
+        c.cluster().faults().set_plan(
+            FaultPlan::seeded(7)
+                .lose_node_at(NodeId(2), SimInstant::EPOCH + SimDuration::from_secs(0.05)),
+        );
+        assert_eq!(job(&c), expected, "node loss must not change results");
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.recovery.nodes_lost, 1);
+        assert!(
+            c.metrics().now() >= healthy_time,
+            "recovery can only add virtual time"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_descriptive_error() {
+        use yafim_cluster::FaultPlan;
+        let c = ctx();
+        c.cluster()
+            .faults()
+            .set_plan(FaultPlan::seeded(3).crash_tasks(1.0));
+        let err = c
+            .parallelize((0u32..100).collect())
+            .map(|x| x + 1)
+            .try_collect()
+            .expect_err("every attempt crashes, the job must abort");
+        let msg = err.to_string();
+        assert!(msg.contains("max_task_failures"), "got: {msg}");
+        assert!(msg.contains("aborted"), "got: {msg}");
     }
 
     #[test]

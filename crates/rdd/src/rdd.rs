@@ -238,13 +238,30 @@ impl<T: Data> Rdd<T> {
     }
 
     /// Action: gather every element to the driver, in partition order.
+    ///
+    /// Panics if the job aborts under an active fault plan; use
+    /// [`Rdd::try_collect`] to handle that case.
     pub fn collect(&self) -> Vec<T> {
-        exec::collect(self)
+        self.try_collect().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `collect`: a job can abort when an active
+    /// [`yafim_cluster::FaultPlan`] exhausts a task's retry budget.
+    pub fn try_collect(&self) -> Result<Vec<T>, crate::exec::ExecError> {
+        exec::try_collect(self)
     }
 
     /// Action: number of elements.
+    ///
+    /// Panics if the job aborts under an active fault plan; use
+    /// [`Rdd::try_count`] to handle that case.
     pub fn count(&self) -> u64 {
-        exec::count(self)
+        self.try_count().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `count`; see [`Rdd::try_collect`].
+    pub fn try_count(&self) -> Result<u64, crate::exec::ExecError> {
+        exec::try_count(self)
     }
 
     /// Action: the first `n` elements in partition order. (Computes all

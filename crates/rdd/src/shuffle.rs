@@ -12,38 +12,78 @@
 //! merge the buckets. Virtual costs: map side pays serialization plus a local
 //! shuffle-file write; reduce side pays fetch (1/nodes local disk, the rest
 //! network), deserialization, and the merge CPU.
+//!
+//! Map output is kept *per map task*, tagged with the node the winning
+//! attempt ran on. When that node dies the registry marks just those map
+//! outputs lost (a reduce task would hit a fetch failure); the next
+//! `prepare` resubmits only the missing map partitions — Spark's
+//! partial-stage resubmission — and patches them back in. Reduce tasks read
+//! buckets in map-task order, so a patched shuffle is byte-identical to one
+//! materialized in a single healthy run.
 
 use crate::context::Context;
-use crate::exec;
+use crate::exec::{self, ExecError};
 use crate::rdd::{materialize, Data, RddImpl, RddMeta};
 use crate::task::TaskContext;
 use std::any::Any;
+use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::sync::{Arc, Weak};
 use yafim_cluster::sync::Mutex;
-use yafim_cluster::{bucket_of, slice_bytes, EventKind, FxHashMap, NodeId};
+use yafim_cluster::{bucket_of, slice_bytes, EventKind, FxHashMap, NodeId, RecoveryCounters};
 
 /// A shuffle's map side, to be run before any stage that reads it.
 pub(crate) trait ShuffleStage: Send + Sync {
     /// Shuffle id (equals the owning RDD's id).
     fn shuffle_id(&self) -> u64;
-    /// Run ancestor shuffles, then this shuffle's map stage, unless already
-    /// materialized.
-    fn prepare(&self);
+    /// Run ancestor shuffles, then this shuffle's map stage (or just its
+    /// lost map partitions), unless already complete.
+    fn prepare(&self) -> Result<(), ExecError>;
 }
 
-/// Materialized map output of one shuffle.
+/// Materialized map output of one shuffle, kept per map task so individual
+/// map outputs can be invalidated and recomputed.
 pub(crate) struct Materialized<K, V> {
-    /// One bucket per reduce partition, in deterministic (map-task, key)
-    /// order.
-    pub buckets: Vec<Vec<(K, V)>>,
-    /// Serialized byte estimate per bucket.
+    /// `per_map[m][r]` = the bucket map task `m` produced for reduce
+    /// partition `r`, in deterministic (map-task, key-hash) order.
+    pub per_map: Vec<Vec<Vec<(K, V)>>>,
+    /// Serialized byte estimate per reduce partition (summed over maps).
     pub bucket_bytes: Vec<u64>,
+}
+
+impl<K: Data, V: Data> Materialized<K, V> {
+    /// Iterate reduce partition `part`'s records in map-task order — the
+    /// same sequence the pre-loss concatenated layout produced.
+    pub fn bucket_iter(&self, part: usize) -> impl Iterator<Item = &(K, V)> {
+        self.per_map.iter().flat_map(move |m| m[part].iter())
+    }
+
+    fn recount_bytes(&mut self) {
+        let reduces = self.per_map.first().map_or(0, |m| m.len());
+        self.bucket_bytes = (0..reduces)
+            .map(|r| self.per_map.iter().map(|m| slice_bytes(&m[r])).sum())
+            .collect();
+    }
+}
+
+/// A recomputed map output: `(map partition, its per-reduce buckets, node
+/// the resubmitted attempt ran on)`.
+pub(crate) type RecomputedMap<K, V> = (usize, Vec<Vec<(K, V)>>, NodeId);
+
+/// One registered shuffle: the typed map output plus provenance — which node
+/// produced each map task's output, and which outputs are currently lost.
+struct ShuffleEntry {
+    data: Arc<dyn Any + Send + Sync>,
+    /// Node the winning attempt of each map task ran on.
+    map_nodes: Vec<NodeId>,
+    /// Map partitions whose output died with their node. Non-empty ⇒ a
+    /// reduce task would hit a fetch failure; `prepare` resubmits them.
+    lost: BTreeSet<usize>,
 }
 
 /// Registry of materialized shuffles, keyed by shuffle id.
 pub(crate) struct ShuffleRegistry {
-    inner: Mutex<FxHashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    inner: Mutex<FxHashMap<u64, ShuffleEntry>>,
 }
 
 impl ShuffleRegistry {
@@ -57,30 +97,100 @@ impl ShuffleRegistry {
         self.inner.lock().contains_key(&id)
     }
 
+    /// Materialized *and* no map outputs lost.
+    pub(crate) fn is_complete(&self, id: u64) -> bool {
+        self.inner
+            .lock()
+            .get(&id)
+            .is_some_and(|e| e.lost.is_empty())
+    }
+
+    /// Map partitions whose output is currently lost (ascending order).
+    pub(crate) fn lost_maps(&self, id: u64) -> Vec<usize> {
+        self.inner
+            .lock()
+            .get(&id)
+            .map(|e| e.lost.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     pub(crate) fn get<K, V>(&self, id: u64) -> Option<Arc<Materialized<K, V>>>
     where
         K: Send + Sync + 'static,
         V: Send + Sync + 'static,
     {
-        self.inner.lock().get(&id).map(|a| {
-            Arc::clone(a)
+        self.inner.lock().get(&id).map(|e| {
+            Arc::clone(&e.data)
                 .downcast::<Materialized<K, V>>()
                 .expect("shuffle type mismatch")
         })
     }
 
-    pub(crate) fn insert<K, V>(&self, id: u64, mat: Materialized<K, V>)
+    pub(crate) fn insert<K, V>(&self, id: u64, mat: Materialized<K, V>, map_nodes: Vec<NodeId>)
     where
         K: Send + Sync + 'static,
         V: Send + Sync + 'static,
     {
-        self.inner.lock().insert(id, Arc::new(mat));
+        assert_eq!(mat.per_map.len(), map_nodes.len());
+        self.inner.lock().insert(
+            id,
+            ShuffleEntry {
+                data: Arc::new(mat),
+                map_nodes,
+                lost: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Replace the lost map outputs of shuffle `id` with freshly recomputed
+    /// ones and record their new home nodes. Clears the lost set.
+    pub(crate) fn patch<K, V>(&self, id: u64, recomputed: Vec<RecomputedMap<K, V>>)
+    where
+        K: Data,
+        V: Data,
+    {
+        let mut g = self.inner.lock();
+        let entry = g
+            .get_mut(&id)
+            .expect("patching a shuffle that was never materialized");
+        let old = Arc::clone(&entry.data)
+            .downcast::<Materialized<K, V>>()
+            .expect("shuffle type mismatch");
+        let mut per_map = old.per_map.clone();
+        let mut map_nodes = entry.map_nodes.clone();
+        for (m, buckets, node) in recomputed {
+            per_map[m] = buckets;
+            map_nodes[m] = node;
+        }
+        let mut mat = Materialized {
+            per_map,
+            bucket_bytes: Vec::new(),
+        };
+        mat.recount_bytes();
+        entry.data = Arc::new(mat);
+        entry.map_nodes = map_nodes;
+        entry.lost.clear();
     }
 
     /// Drop a materialized shuffle (fault injection): the next action that
-    /// needs it re-runs the map stage through the lineage.
+    /// needs it re-runs the whole map stage through the lineage.
     pub(crate) fn invalidate(&self, id: u64) -> bool {
         self.inner.lock().remove(&id).is_some()
+    }
+
+    /// Mark every map output produced on `node` as lost, across all
+    /// registered shuffles. Returns how many map outputs were newly lost.
+    pub(crate) fn mark_node_lost(&self, node: NodeId) -> usize {
+        let mut g = self.inner.lock();
+        let mut newly = 0;
+        for e in g.values_mut() {
+            for (m, n) in e.map_nodes.iter().enumerate() {
+                if *n == node && e.lost.insert(m) {
+                    newly += 1;
+                }
+            }
+        }
+        newly
     }
 
     /// Number of materialized shuffles.
@@ -127,25 +237,41 @@ where
     }
 
     /// Run the map side: map-side combine each parent partition, hash-
-    /// partition into buckets, register the concatenated buckets.
-    fn run_map_stage(&self) {
+    /// partition into buckets, register the per-map buckets. With
+    /// `only = Some(lost)`, recompute just those map partitions and patch
+    /// them into the existing entry (partial stage resubmission).
+    fn run_map_stage(&self, only: Option<&[usize]>) -> Result<(), ExecError> {
         let ctx = self.ctx().clone();
         let parent = Arc::clone(&self.parent);
         let reducer = Arc::clone(&self.reducer);
         let out_parts = self.partitions;
-        let map_parts = parent.num_partitions();
-        let preferred: Vec<Option<NodeId>> =
-            (0..map_parts).map(|p| parent.preferred_node(p)).collect();
+
+        // Which original map partitions this stage computes: all of them on
+        // a fresh run, just the lost ones on a resubmission.
+        let map_parts: Vec<usize> = match only {
+            Some(lost) => lost.to_vec(),
+            None => (0..parent.num_partitions()).collect(),
+        };
+        let label = match only {
+            Some(_) => format!("shuffle {} map (resubmit)", self.meta.id),
+            None => format!("shuffle {} map", self.meta.id),
+        };
+        let preferred: Vec<Option<NodeId>> = map_parts
+            .iter()
+            .map(|&p| parent.preferred_node(p))
+            .collect();
 
         type MapOut<K, V> = Vec<Vec<(K, V)>>;
-        let results: Vec<MapOut<K, V>> = exec::run_stage(
+        let task_parts = map_parts.clone();
+        let (results, executed_on): (Vec<MapOut<K, V>>, Vec<NodeId>) = exec::try_run_stage(
             &ctx,
-            format!("shuffle {} map", self.meta.id),
+            label,
             EventKind::Shuffle,
             Some(self.meta.id),
-            map_parts,
+            map_parts.len(),
             preferred,
-            Arc::new(move |part: usize, tc: &mut TaskContext| {
+            Arc::new(move |idx: usize, tc: &mut TaskContext| {
+                let part = task_parts[idx];
                 let input = materialize(&parent, part, tc);
                 tc.add_records_in(input.len() as u64);
 
@@ -189,23 +315,28 @@ where
 
                 buckets
             }),
-        );
+        )?;
 
-        // Concatenate per-reduce-partition buckets in map-task order.
-        let mut buckets: Vec<Vec<(K, V)>> = (0..out_parts).map(|_| Vec::new()).collect();
-        for map_out in results {
-            for (i, b) in map_out.into_iter().enumerate() {
-                buckets[i].extend(b);
+        match only {
+            Some(_) => {
+                let recomputed = map_parts
+                    .iter()
+                    .zip(results)
+                    .zip(executed_on)
+                    .map(|((&m, buckets), node)| (m, buckets, node))
+                    .collect();
+                self.ctx().shuffles().patch(self.meta.id, recomputed);
+            }
+            None => {
+                let mut mat = Materialized {
+                    per_map: results,
+                    bucket_bytes: Vec::new(),
+                };
+                mat.recount_bytes();
+                self.ctx().shuffles().insert(self.meta.id, mat, executed_on);
             }
         }
-        let bucket_bytes = buckets.iter().map(|b| slice_bytes(b)).collect();
-        self.ctx().shuffles().insert(
-            self.meta.id,
-            Materialized {
-                buckets,
-                bucket_bytes,
-            },
-        );
+        Ok(())
     }
 }
 
@@ -218,17 +349,33 @@ where
         self.meta.id
     }
 
-    fn prepare(&self) {
-        if self.ctx().shuffles().has(self.meta.id) {
-            return;
+    fn prepare(&self) -> Result<(), ExecError> {
+        if self.ctx().shuffles().is_complete(self.meta.id) {
+            return Ok(());
         }
-        // Ancestors first (deduplicated by the registry check above).
+        // Ancestors first (deduplicated by the completeness check above).
         let mut deps: Vec<Arc<dyn ShuffleStage>> = Vec::new();
         self.parent.collect_shuffle_deps(&mut deps);
         for d in deps {
-            d.prepare();
+            d.prepare()?;
         }
-        self.run_map_stage();
+
+        if self.ctx().shuffles().has(self.meta.id) {
+            // Materialized but holed: a node died and took some map outputs
+            // with it. A reduce task would fetch-fail on each hole — charge
+            // the failures and resubmit just the missing map partitions.
+            let lost = self.ctx().shuffles().lost_maps(self.meta.id);
+            if !lost.is_empty() {
+                self.ctx().metrics().note_recovery(&RecoveryCounters {
+                    fetch_failures: lost.len() as u64,
+                    recomputed_partitions: lost.len() as u64,
+                    ..RecoveryCounters::default()
+                });
+                self.run_map_stage(Some(&lost))?;
+            }
+            return Ok(());
+        }
+        self.run_map_stage(None)
     }
 }
 
@@ -267,11 +414,10 @@ where
         tc.add_ser(bytes);
         tc.note_shuffle_read(bytes);
 
-        let bucket = &mat.buckets[part];
-        tc.add_records_in(bucket.len() as u64);
-
+        let mut records = 0u64;
         let mut agg: FxHashMap<K, V> = FxHashMap::default();
-        for (k, v) in bucket.iter() {
+        for (k, v) in mat.bucket_iter(part) {
+            records += 1;
             match agg.remove(k) {
                 Some(prev) => {
                     agg.insert(k.clone(), (self.reducer)(prev, v.clone()));
@@ -281,6 +427,7 @@ where
                 }
             }
         }
+        tc.add_records_in(records);
         let mut out: Vec<(K, V)> = agg.into_iter().collect();
         // Pin down output order for run-to-run determinism.
         out.sort_by_key(|(k, _)| yafim_cluster::fx_hash64(k));
