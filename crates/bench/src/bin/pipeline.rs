@@ -1,0 +1,237 @@
+//! Throughput benchmark for fused iterator pipelines vs the retained
+//! naive-eager reference evaluator (`ExecMode`).
+//!
+//! The workload is the shape fusion targets: a clone-heavy
+//! `flatMap → map → filter` chain over `String` records — the narrow
+//! prefix of YAFIM's Phase I `flatMap → map → reduceByKey` hot loop. The
+//! eager reference collapses the partition into a fresh buffer at every
+//! operator boundary (the pre-fusion engine's allocation pattern); the
+//! fused engine streams each record through the whole chain and buffers
+//! nothing until the action.
+//!
+//! Before timing anything, both modes `collect` the same lineage and the
+//! results are compared element-for-element — the bench *fails* on any
+//! divergence, which is what the CI smoke step leans on.
+//!
+//! Output:
+//! * stdout + `results/pipeline.txt` — human-readable report
+//!   (wall-clock numbers vary run to run; everything else is deterministic);
+//! * `BENCH_pipeline.json` — machine-readable, seeds the perf trajectory.
+//!
+//! Usage: `cargo run -p yafim-bench --release --bin pipeline [--smoke]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use yafim_cluster::json::JsonValue;
+use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_rdd::{Context, ExecMode, Rdd, RddConfig};
+
+/// splitmix64 — deterministic synthetic data without a rand crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `lines` space-separated pseudo-words, ~`words_per_line` words each.
+fn synthetic_lines(lines: usize, words_per_line: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rng(seed);
+    (0..lines)
+        .map(|_| {
+            let n = words_per_line / 2 + (rng.next() as usize) % words_per_line;
+            (0..n.max(1))
+                .map(|_| format!("w{:06x}", rng.next() & 0xff_ffff))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+fn ctx_with(mode: ExecMode) -> Context {
+    let cluster =
+        SimCluster::with_threads(ClusterSpec::new(4, 4, 1 << 30), CostModel::hadoop_era(), 8);
+    let mut config = RddConfig::for_cluster(&cluster);
+    config.exec_mode = mode;
+    Context::with_config(cluster, config)
+}
+
+/// The measured chain: flatMap (split into words) → map (clone-heavy
+/// transform) → filter.
+fn chain(c: &Context, data: &[String], parts: usize) -> Rdd<String> {
+    c.parallelize_with_partitions(data.to_vec(), parts)
+        .flat_map(|line| line.split(' ').map(str::to_string).collect::<Vec<String>>())
+        .map(|w| {
+            let mut s = w;
+            s.push('!');
+            s
+        })
+        .filter(|w| w.as_bytes()[1] % 4 != 0)
+}
+
+struct ModeRun {
+    label: &'static str,
+    /// Median wall-clock seconds for one `count` over the chain.
+    seconds: f64,
+    /// Records that flowed through operator inputs during one run
+    /// (identical across modes by construction).
+    pipeline_records: u64,
+    records_per_sec: f64,
+    /// Largest `bytes_materialized` of any single stage.
+    peak_stage_bytes: u64,
+    total_bytes: u64,
+}
+
+fn run_mode(
+    mode: ExecMode,
+    label: &'static str,
+    data: &[String],
+    parts: usize,
+    samples: usize,
+) -> (ModeRun, Vec<String>) {
+    // Accounting + parity pass (fresh context, deterministic).
+    let c = ctx_with(mode);
+    let collected = chain(&c, data, parts).collect();
+    let snap = c.metrics().snapshot();
+    let pipeline_records = snap.work.records_in;
+    let peak_stage_bytes = c
+        .metrics()
+        .stage_spans()
+        .iter()
+        .map(|s| s.profile.bytes_materialized)
+        .max()
+        .unwrap_or(0);
+    let total_bytes = snap.profile.bytes_materialized;
+
+    // Timed pass: fresh context per sample so no cache/shuffle state
+    // carries over; only the action is inside the timer.
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let c = ctx_with(mode);
+            let rdd = chain(&c, data, parts);
+            let t0 = Instant::now();
+            std::hint::black_box(rdd.count());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let seconds = times[times.len() / 2];
+
+    (
+        ModeRun {
+            label,
+            seconds,
+            pipeline_records,
+            records_per_sec: pipeline_records as f64 / seconds,
+            peak_stage_bytes,
+            total_bytes,
+        },
+        collected,
+    )
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2} M/s", r / 1e6)
+    } else {
+        format!("{:.1} k/s", r / 1e3)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (lines, words, samples) = if smoke { (500, 6, 2) } else { (20_000, 8, 5) };
+    let parts = 16;
+    let data = synthetic_lines(lines, words, 7);
+
+    let (eager, eager_out) = run_mode(
+        ExecMode::Eager,
+        "eager (per-op buffers)",
+        &data,
+        parts,
+        samples,
+    );
+    let (fused, fused_out) = run_mode(ExecMode::Fused, "fused (pipelined)", &data, parts, samples);
+
+    // The whole point of keeping the eager evaluator: it is the reference.
+    assert_eq!(
+        eager.pipeline_records, fused.pipeline_records,
+        "record accounting diverged between modes"
+    );
+    if fused_out != eager_out {
+        eprintln!(
+            "FAIL: fused results diverge from the eager reference \
+             ({} vs {} records)",
+            fused_out.len(),
+            eager_out.len()
+        );
+        std::process::exit(1);
+    }
+
+    let speedup = eager.seconds / fused.seconds;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Pipeline fusion: flatMap -> map -> filter over {} lines ({} source records, {} partitions) ==",
+        lines,
+        data.len(),
+        parts
+    );
+    let _ = writeln!(
+        report,
+        "{:<26} {:>10} {:>14} {:>16} {:>16}",
+        "mode", "time", "records/sec", "peak stage mat.", "total mat."
+    );
+    for m in [&eager, &fused] {
+        let _ = writeln!(
+            report,
+            "{:<26} {:>8.3} s {:>14} {:>14} B {:>14} B",
+            m.label,
+            m.seconds,
+            fmt_rate(m.records_per_sec),
+            m.peak_stage_bytes,
+            m.total_bytes
+        );
+    }
+    let _ = writeln!(
+        report,
+        "\nfused speedup: {speedup:.2}x | records through pipeline per run: {} | parity: ok ({} output records)",
+        fused.pipeline_records,
+        fused_out.len()
+    );
+    print!("{report}");
+
+    if smoke {
+        println!("smoke mode: parity verified, skipping result files");
+        return;
+    }
+
+    std::fs::write("results/pipeline.txt", &report).expect("write results/pipeline.txt");
+
+    let mode_json = |m: &ModeRun| {
+        JsonValue::object(vec![
+            ("seconds", JsonValue::Number(m.seconds)),
+            ("records_per_sec", JsonValue::Number(m.records_per_sec)),
+            ("peak_stage_bytes_materialized", m.peak_stage_bytes.into()),
+            ("total_bytes_materialized", m.total_bytes.into()),
+        ])
+    };
+    let json = JsonValue::object(vec![
+        ("bench", "pipeline".into()),
+        ("chain", "flatMap -> map -> filter".into()),
+        ("source_records", data.len().into()),
+        ("pipeline_records", fused.pipeline_records.into()),
+        ("output_records", fused_out.len().into()),
+        ("eager", mode_json(&eager)),
+        ("fused", mode_json(&fused)),
+        ("fused_speedup", JsonValue::Number(speedup)),
+        ("parity", "ok".into()),
+    ]);
+    std::fs::write("BENCH_pipeline.json", format!("{json}\n")).expect("write BENCH_pipeline.json");
+    println!("wrote results/pipeline.txt and BENCH_pipeline.json");
+}

@@ -3,8 +3,8 @@
 //! Two tables, both computed from [`Metrics`]:
 //!
 //! * [`stage_report`] — one row per stage: task count, min/median/max task
-//!   time, straggler ratio (max/median), shuffle bytes read and written,
-//!   cache hit-rate;
+//!   time, straggler ratio (max/median), records read and written at
+//!   pipeline boundaries, shuffle bytes read and written, cache hit-rate;
 //! * [`iteration_report`] — one row per [`EventKind::Iteration`] event,
 //!   matching the per-pass x-axis of the paper's Fig. 3.
 //!
@@ -23,6 +23,16 @@ fn fmt_bytes(b: u64) -> String {
         format!("{:.1} KiB", b as f64 / 1024.0)
     } else {
         format!("{b} B")
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        format!("{n}")
     }
 }
 
@@ -65,7 +75,7 @@ pub fn stage_report(metrics: &Metrics) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}  {:>12}",
+        "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>8} {:>8}  {:>10} {:>10}  {:>6}  {:>12}",
         "stage",
         "label",
         "tasks",
@@ -73,6 +83,8 @@ pub fn stage_report(metrics: &Metrics) -> String {
         "median",
         "max",
         "strag",
+        "rec.read",
+        "rec.writ",
         "shuf.read",
         "shuf.write",
         "cache",
@@ -124,7 +136,7 @@ pub fn stage_report(metrics: &Metrics) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>10} {:>10}  {:>6}  {:>12}",
+            "{:>5}  {:<34} {:>5}  {:>8} {:>8} {:>8}  {:>6}  {:>8} {:>8}  {:>10} {:>10}  {:>6}  {:>12}",
             s.stage_id,
             label,
             s.tasks,
@@ -132,6 +144,8 @@ pub fn stage_report(metrics: &Metrics) -> String {
             median,
             max,
             strag,
+            fmt_count(s.profile.records_read),
+            fmt_count(s.profile.records_written),
             fmt_bytes(s.profile.shuffle_read_bytes),
             fmt_bytes(s.profile.shuffle_write_bytes),
             cache,
@@ -257,6 +271,13 @@ pub fn full_report(metrics: &Metrics) -> String {
         fmt_bytes(p.broadcast_read_bytes),
         cache
     );
+    let _ = writeln!(
+        out,
+        "records read {} | records written {} | bytes materialized {}",
+        fmt_count(p.records_read),
+        fmt_count(p.records_written),
+        fmt_bytes(p.bytes_materialized)
+    );
     let r = &snap.recovery;
     if r.any() {
         let _ = writeln!(
@@ -302,6 +323,9 @@ mod tests {
         p.shuffle_write_bytes = 4096;
         p.cache_hits = 3;
         p.cache_misses = 1;
+        p.records_read = 12_500;
+        p.records_written = 777;
+        p.bytes_materialized = 512;
         p
     }
 
@@ -329,6 +353,26 @@ mod tests {
         assert!(table.contains("4096 B"), "shuffle write: {table}");
         assert!(table.contains("2048 B"), "shuffle read: {table}");
         assert!(table.contains("75%"), "cache hit rate: {table}");
+        assert!(table.contains("rec.read"), "records header: {table}");
+        assert!(table.contains("12.5k"), "records read: {table}");
+        assert!(table.contains("777"), "records written: {table}");
+    }
+
+    #[test]
+    fn totals_include_record_and_materialization_counters() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "s".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 1.0, shuffle_profile())],
+        });
+        let report = full_report(&m);
+        assert!(report.contains("records read 12.5k"), "{report}");
+        assert!(report.contains("records written 777"), "{report}");
+        assert!(report.contains("bytes materialized 512 B"), "{report}");
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub struct TaskProfile {
     pub cache_hits: u64,
     /// Partition reads that missed the cache and recomputed.
     pub cache_misses: u64,
+    /// Records entering the task's pipeline from a stable input: a source
+    /// partition, a cache hit, or a shuffle fetch.
+    pub records_read: u64,
+    /// Records leaving the task through a pipeline breaker: a shuffle
+    /// map-side write, a cache insert, or a driver fetch.
+    pub records_written: u64,
+    /// Bytes the task buffered into `Vec`s at pipeline breakers. Fused
+    /// stages only materialize at breakers; the eager reference evaluator
+    /// materializes at every operator, so this counter is the direct
+    /// measure of what fusion saves.
+    pub bytes_materialized: u64,
 }
 
 impl TaskProfile {
@@ -139,6 +150,9 @@ impl TaskProfile {
         self.broadcast_read_bytes += other.broadcast_read_bytes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.records_read += other.records_read;
+        self.records_written += other.records_written;
+        self.bytes_materialized += other.bytes_materialized;
     }
 }
 
@@ -156,12 +170,18 @@ mod tests {
         b.work.add_records_in(3);
         b.shuffle_write_bytes = 20;
         b.cache_misses = 2;
+        b.records_read = 7;
+        b.records_written = 4;
+        b.bytes_materialized = 64;
         a.merge(&b);
         assert_eq!(a.work.records_in, 5);
         assert_eq!(a.shuffle_read_bytes, 10);
         assert_eq!(a.shuffle_write_bytes, 20);
         assert_eq!(a.cache_hits, 1);
         assert_eq!(a.cache_misses, 2);
+        assert_eq!(a.records_read, 7);
+        assert_eq!(a.records_written, 4);
+        assert_eq!(a.bytes_materialized, 64);
     }
 
     #[test]

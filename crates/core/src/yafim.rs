@@ -86,6 +86,9 @@ impl Yafim {
             .map(|line| parse_transaction(&line))
             .cache();
 
+        // This narrow chain runs as one fused pipeline per partition: each
+        // transaction streams through flatMap and map straight into the
+        // shuffle's map-side combiner without intermediate buffers.
         let l1_pairs: Vec<(Item, u64)> = transactions
             .flat_map(|t| t)
             .map(|item| (item, 1u64))

@@ -12,6 +12,10 @@
 //!   node-local disk tier; later reads pay a disk scan instead of a
 //!   recompute.
 //!
+//! The cache is also a *pipeline breaker*: a cache insert materializes the
+//! partition into an `Arc<Vec<T>>`, and a cache hit hands that shared buffer
+//! straight to the reader's fused pipeline without cloning it.
+//!
 //! This is what makes the "memory utilization" discussion of the paper's
 //! §IV.B (and the cache ablation bench) observable.
 

@@ -18,6 +18,22 @@ pub enum BroadcastMode {
     NaivePerTask,
 }
 
+/// How a stage evaluates its narrow-operator chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fused iterator pipelines (the default): narrow operators compose
+    /// lazily and partition buffers exist only at pipeline breakers
+    /// (shuffle writes, cache inserts, driver fetches) — Spark's
+    /// whole-stage pipelining.
+    Fused,
+    /// The naive-eager reference evaluator: the pipe is collapsed into a
+    /// fresh partition buffer at *every* operator boundary, reproducing the
+    /// pre-fusion engine's allocation pattern. Mining results, virtual
+    /// time, and shuffle/cache byte accounting are identical to `Fused`;
+    /// only wall-clock speed and `bytes_materialized` differ.
+    Eager,
+}
+
 /// Tunables of one driver context.
 #[derive(Clone, Debug)]
 pub struct RddConfig {
@@ -30,6 +46,9 @@ pub struct RddConfig {
     /// Override the per-node cache capacity in bytes (for the memory
     /// pressure ablation). `None` uses 60 % of node memory.
     pub cache_capacity_per_node: Option<u64>,
+    /// Stage evaluation strategy (fused pipelines by default; the eager
+    /// reference evaluator exists for cross-checking and benchmarks).
+    pub exec_mode: ExecMode,
 }
 
 impl RddConfig {
@@ -39,6 +58,7 @@ impl RddConfig {
             broadcast: BroadcastMode::Torrent,
             default_parallelism: cluster.spec().total_cores() as usize * 2,
             cache_capacity_per_node: None,
+            exec_mode: ExecMode::Fused,
         }
     }
 }
@@ -114,6 +134,11 @@ impl Context {
         &self.inner.shuffles
     }
 
+    /// Stage evaluation strategy (fused pipelines or the eager reference).
+    pub(crate) fn exec_mode(&self) -> ExecMode {
+        self.inner.config.exec_mode
+    }
+
     /// Total bytes shipped through [`Context::broadcast`] so far.
     pub(crate) fn broadcast_bytes(&self) -> u64 {
         self.inner.broadcast_total.load(Ordering::Relaxed)
@@ -134,14 +159,16 @@ impl Context {
         let partitions = partitions.max(1);
         let n = data.len();
         let chunk = n.div_ceil(partitions).max(1);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(partitions);
+        // One `Arc` per chunk: computing a partition shares the driver's
+        // buffer with the task's pipeline instead of cloning it.
+        let mut chunks: Vec<Arc<Vec<T>>> = Vec::with_capacity(partitions);
         let mut it = data.into_iter();
         for _ in 0..partitions {
-            chunks.push(it.by_ref().take(chunk).collect());
+            chunks.push(Arc::new(it.by_ref().take(chunk).collect()));
         }
         let imp = Arc::new(ParallelizeRdd {
             meta: RddMeta::new(self),
-            chunks: Arc::new(chunks),
+            chunks,
         });
         Rdd::from_impl(self.clone(), imp)
     }

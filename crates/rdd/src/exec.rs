@@ -69,8 +69,10 @@ pub struct NodeLossReport {
     pub map_outputs_lost: usize,
 }
 
-/// A task body: partition index + task context → per-partition result.
-pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &mut TaskContext) -> R + Send + Sync>;
+/// A task body: partition index + task context → per-partition result. The
+/// context is shared (`&TaskContext`): a fused pipeline's adapters all hold
+/// it while elements stream through, charging work via interior mutability.
+pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &TaskContext) -> R + Send + Sync>;
 
 /// Run one stage: `task` once per partition, real execution on the pool,
 /// virtual time charged to the cluster clock. Every task is placed on a
@@ -103,8 +105,8 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
             .pool()
             .map((0..partitions).collect::<Vec<usize>>(), move |_, part| {
                 let node = preferred_for_tasks[part].unwrap_or_else(|| spec.home_node(part));
-                let mut tc = TaskContext::new(part, node);
-                let r = task(part, &mut tc);
+                let tc = TaskContext::new(part, node);
+                let r = task(part, &tc);
                 (r, tc.into_profile())
             });
 
@@ -261,7 +263,8 @@ fn prepare_shuffles<T: Data>(ctx: &Context, imp: &Arc<dyn RddImpl<T>>) -> Result
     }
 }
 
-/// Run the final stage of a job, materializing each partition of `rdd`.
+/// Run the final stage of a job, collapsing each partition's pipeline into
+/// a buffer for the driver fetch (the job's last pipeline breaker).
 fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Result<Vec<Arc<Vec<T>>>, ExecError> {
     let imp = Arc::clone(&rdd.imp);
     let partitions = imp.num_partitions();
@@ -276,9 +279,34 @@ fn run_final_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Result<Vec<Arc<Vec<T
         shuffle_read,
         partitions,
         preferred,
-        Arc::new(move |part, tc| materialize(&imp, part, tc)),
+        Arc::new(move |part, tc: &TaskContext| {
+            let data = materialize(&imp, part, tc).into_arc(tc);
+            tc.note_records_written(data.len() as u64);
+            data
+        }),
     )
     .map(|(parts, _)| parts)
+}
+
+/// Run the final stage of a `count` job: each partition's pipeline is
+/// drained without buffering — only the lengths reach the driver.
+fn run_count_stage<T: Data>(rdd: &Rdd<T>, label: String) -> Result<Vec<u64>, ExecError> {
+    let imp = Arc::clone(&rdd.imp);
+    let partitions = imp.num_partitions();
+    let preferred: Vec<Option<NodeId>> = (0..partitions)
+        .map(|p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
+        .collect();
+    let shuffle_read = imp.shuffle_read_id();
+    try_run_stage(
+        &rdd.ctx,
+        label,
+        EventKind::Stage,
+        shuffle_read,
+        partitions,
+        preferred,
+        Arc::new(move |part, tc: &TaskContext| materialize(&imp, part, tc).count()),
+    )
+    .map(|(lens, _)| lens)
 }
 
 /// The `collect` action.
@@ -326,13 +354,89 @@ pub(crate) fn try_count<T: Data>(rdd: &Rdd<T>) -> Result<u64, ExecError> {
 
     let result = (|| {
         prepare_shuffles(ctx, &rdd.imp)?;
-        let parts = run_final_stage(rdd, format!("count rdd{}", rdd.id()))?;
+        let lens = run_count_stage(rdd, format!("count rdd{}", rdd.id()))?;
         sync_node_losses(ctx);
-        Ok(parts)
+        Ok(lens)
     })();
     metrics.end_job(job);
 
-    Ok(result?.iter().map(|p| p.len() as u64).sum())
+    Ok(result?.iter().sum())
+}
+
+/// The `take` action: incremental over the fused pipelines. Partitions run
+/// in exponentially growing batches (1, 4, 16, …) and each task stops
+/// pulling from its partition's pipeline once `n` elements are gathered —
+/// later partitions are never computed when earlier ones fill the quota.
+pub(crate) fn try_take<T: Data>(rdd: &Rdd<T>, n: usize) -> Result<Vec<T>, ExecError> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let ctx = &rdd.ctx;
+    let metrics = ctx.metrics().clone();
+    let job = metrics.begin_job(format!("take({n}) rdd{}", rdd.id()));
+    metrics.advance(SimDuration::from_secs(
+        ctx.cluster().cost().spark_job_overhead,
+    ));
+
+    let result = (|| {
+        prepare_shuffles(ctx, &rdd.imp)?;
+        let imp = Arc::clone(&rdd.imp);
+        let total = imp.num_partitions();
+        let shuffle_read = imp.shuffle_read_id();
+        let mut out: Vec<T> = Vec::new();
+        let mut next = 0usize;
+        let mut batch = 1usize;
+        while out.len() < n && next < total {
+            let hi = (next + batch).min(total);
+            let parts: Vec<usize> = (next..hi).collect();
+            let remaining = n - out.len();
+            let preferred: Vec<Option<NodeId>> = parts
+                .iter()
+                .map(|&p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
+                .collect();
+            let stage_imp = Arc::clone(&imp);
+            let stage_parts = parts.clone();
+            let (results, _) = try_run_stage(
+                ctx,
+                format!("take({n}) rdd{} [{next}..{hi})", rdd.id()),
+                EventKind::Stage,
+                shuffle_read,
+                parts.len(),
+                preferred,
+                Arc::new(move |idx, tc: &TaskContext| {
+                    let part = stage_parts[idx];
+                    // Pull at most `remaining` elements; a fused upstream
+                    // chain stops computing as soon as the quota is met.
+                    let taken: Vec<T> = materialize(&stage_imp, part, tc)
+                        .into_iter()
+                        .take(remaining)
+                        .collect();
+                    tc.note_records_written(taken.len() as u64);
+                    tc.note_materialized(slice_bytes(&taken));
+                    taken
+                }),
+            )?;
+            // Everything the batch gathered is fetched to the driver, even
+            // if the batch collectively overshot `n`.
+            let fetched: u64 = results.iter().map(|p| slice_bytes(p)).sum();
+            let cost = ctx.cluster().cost();
+            metrics.advance(cost.serialize(fetched) + cost.net_transfer(fetched));
+            for p in results {
+                for t in p {
+                    if out.len() == n {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            sync_node_losses(ctx);
+            next = hi;
+            batch = batch.saturating_mul(4);
+        }
+        Ok(out)
+    })();
+    metrics.end_job(job);
+    result
 }
 
 /// Fault injection helpers, exposed on [`Context`] via an extension trait so

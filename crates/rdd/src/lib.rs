@@ -23,6 +23,12 @@
 //! converted to a duration by the cluster's cost model and list-scheduled
 //! onto the virtual cores.
 //!
+//! Within a stage, narrow-operator chains run as **fused iterator
+//! pipelines** (Spark's whole-stage pipelining): partition buffers exist
+//! only at pipeline breakers — shuffle map-side writes, cache
+//! inserts/reads, and driver fetches. [`ExecMode::Eager`] retains the
+//! naive per-operator evaluator as a cross-checking reference.
+//!
 //! ```
 //! use yafim_cluster::SimCluster;
 //! use yafim_rdd::Context;
@@ -49,7 +55,7 @@ mod shuffle;
 mod task;
 
 pub use cache::{CacheManager, CacheStats, CacheTier, StorageLevel};
-pub use context::{Broadcast, BroadcastMode, Context, RddConfig};
+pub use context::{Broadcast, BroadcastMode, Context, ExecMode, RddConfig};
 pub use exec::{ExecError, FaultInjection, NodeLossReport};
 pub use rdd::{Data, Rdd};
 pub use task::TaskContext;

@@ -8,7 +8,7 @@
 //! of a "mini-Spark" expects, and the extension miners (parallel FP-Growth,
 //! SON) are built on them.
 
-use crate::rdd::{materialize, Data, Rdd, RddImpl, RddMeta};
+use crate::rdd::{materialize, CountProduced, CountPulled, Data, Pipe, Rdd, RddImpl, RddMeta};
 use crate::shuffle::ShuffleStage;
 use crate::task::TaskContext;
 use std::hash::Hash;
@@ -196,19 +196,19 @@ impl<T: Data> RddImpl<T> for SampleRdd<T> {
         self.parent.preferred_node(part)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
-        let input = materialize(&self.parent, part, tc);
-        tc.add_records_in(input.len() as u64);
-        // Position-keyed hash → uniform in [0,1), fully deterministic.
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        // Position-keyed hash → uniform in [0,1), fully deterministic: the
+        // streamed element positions are the same positions the eager
+        // evaluator enumerates, so the sample is identical.
         let threshold = (self.fraction * u64::MAX as f64) as u64;
-        let out: Vec<T> = input
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| fx_hash64(&(self.seed, part as u64, *i as u64)) <= threshold)
-            .map(|(_, t)| t.clone())
-            .collect();
-        tc.add_records_out(out.len() as u64);
-        out
+        let seed = self.seed;
+        let inp = CountPulled::new(materialize(&self.parent, part, tc).into_iter(), tc);
+        Pipe::Iter(Box::new(CountProduced::new(
+            inp.enumerate()
+                .filter(move |(i, _)| fx_hash64(&(seed, part as u64, *i as u64)) <= threshold)
+                .map(|(_, t)| t),
+            tc,
+        )))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
@@ -247,15 +247,15 @@ impl<T: Data> RddImpl<T> for CoalesceRdd<T> {
             .and_then(|p| self.parent.preferred_node(p))
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
-        let mut out = Vec::new();
-        for p in self.parent_range(part) {
-            let input = materialize(&self.parent, p, tc);
-            tc.add_records_in(input.len() as u64);
-            out.extend(input.iter().cloned());
-        }
-        tc.add_records_out(out.len() as u64);
-        out
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        // Chain the parent partitions lazily: a later parent partition is
+        // only materialized when the pipeline actually reaches it (an
+        // incremental `take` that fills up early never computes it).
+        let parent = &self.parent;
+        let it = self
+            .parent_range(part)
+            .flat_map(move |p| CountPulled::new(materialize(parent, p, tc).into_iter(), tc));
+        Pipe::Iter(Box::new(CountProduced::new(it, tc)))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {

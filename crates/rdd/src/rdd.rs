@@ -1,4 +1,5 @@
-//! The typed RDD and its narrow operators.
+//! The typed RDD and its narrow operators, executed as fused iterator
+//! pipelines.
 //!
 //! An [`Rdd<T>`] is a handle to an immutable, partitioned, lazily-computed
 //! dataset. Transformations build a lineage graph of operator nodes; actions
@@ -6,12 +7,34 @@
 //! [`crate::exec`], which first materializes any shuffle dependencies
 //! (stages) and then computes the final stage.
 //!
+//! Within one stage, narrow operators do **not** materialize intermediate
+//! partitions: [`RddImpl::compute`] returns a [`Pipe`] — a streaming
+//! partition that composes `map`/`flat_map`/`filter`/`sample`/`coalesce`/
+//! `union` chains into a single pass, exactly like Spark's whole-stage
+//! iterator pipelining. Partition buffers exist only at the true pipeline
+//! breakers:
+//!
+//! * **shuffle map-side writes** ([`crate::shuffle`]) — buckets must be
+//!   registered for the reduce side,
+//! * **cache inserts and reads** ([`crate::cache`]) — a stored partition is
+//!   a `Vec` behind an `Arc`; a hit streams straight out of that `Arc`
+//!   without copying it,
+//! * **driver-fetch actions** ([`crate::exec`]) — results are serialized
+//!   and shipped to the driver.
+//!
+//! The retained naive-eager reference evaluator
+//! ([`crate::ExecMode::Eager`]) instead collapses the pipe at *every*
+//! operator boundary — one fresh partition buffer per operator, the
+//! pre-fusion engine's allocation pattern — and exists to cross-check the
+//! fused engine's results and byte accounting, and to measure what fusion
+//! saves.
+//!
 //! Lineage is also the fault-tolerance story, exactly as in the paper's
 //! description of Spark: a lost cached partition is simply recomputed from
-//! its parents.
+//! its parents, through the same pipeline path.
 
 use crate::cache::{CacheTier, StorageLevel};
-use crate::context::Context;
+use crate::context::{Context, ExecMode};
 use crate::exec;
 use crate::shuffle::{ReduceByKeyRdd, ShuffleStage};
 use crate::task::TaskContext;
@@ -29,6 +52,189 @@ const PERSIST_MEMORY_AND_DISK: u8 = 2;
 /// worker pool, and byte-sizeable for shuffle/cache accounting.
 pub trait Data: Clone + Send + Sync + ByteSize + 'static {}
 impl<T: Clone + Send + Sync + ByteSize + 'static> Data for T {}
+
+// ---------------------------------------------------------------------------
+// The pipeline
+// ---------------------------------------------------------------------------
+
+/// One partition's data as it flows through a stage: either already
+/// materialized (shared or owned) or a lazy iterator chain borrowing the
+/// operator nodes and the [`TaskContext`] for the duration of the task.
+pub(crate) enum Pipe<'a, T: Data> {
+    /// A stable buffer shared with the cache or the driver (cache hits,
+    /// `parallelize` chunks). Elements are cloned lazily as they are pulled.
+    Shared(Arc<Vec<T>>),
+    /// A buffer this task owns (breaker outputs like the shuffle reduce
+    /// side, or `map_partitions` closure results). Elements move out.
+    Owned(Vec<T>),
+    /// A fused chain of narrow operators: nothing is computed until the
+    /// consumer pulls.
+    Iter(Box<dyn Iterator<Item = T> + 'a>),
+}
+
+impl<'a, T: Data> Pipe<'a, T> {
+    /// Drain into a fresh `Vec`, charging `bytes_materialized` whenever the
+    /// engine copies elements into a new buffer (a lazy chain collapsing, or
+    /// a shared buffer being deep-cloned by the eager reference evaluator).
+    /// An owned buffer passes through for free — no copy happens.
+    pub(crate) fn into_vec(self, tc: &TaskContext) -> Vec<T> {
+        match self {
+            Pipe::Shared(a) => {
+                let v: Vec<T> = a.iter().cloned().collect();
+                tc.note_materialized(slice_bytes(&v));
+                v
+            }
+            Pipe::Owned(v) => v,
+            Pipe::Iter(it) => {
+                let v: Vec<T> = it.collect();
+                tc.note_materialized(slice_bytes(&v));
+                v
+            }
+        }
+    }
+
+    /// Collapse to a shared partition buffer (a breaker), reusing the
+    /// allocation when the data is already materialized.
+    pub(crate) fn into_arc(self, tc: &TaskContext) -> Arc<Vec<T>> {
+        match self {
+            Pipe::Shared(a) => a,
+            Pipe::Owned(v) => Arc::new(v),
+            Pipe::Iter(it) => {
+                let v: Vec<T> = it.collect();
+                tc.note_materialized(slice_bytes(&v));
+                Arc::new(v)
+            }
+        }
+    }
+
+    /// Hand the whole partition to `f` as a slice (for `map_partitions`).
+    /// Zero-copy when the data is already materialized — in particular, a
+    /// cache hit passes the cached buffer itself, which is the YAFIM Phase
+    /// II hot path.
+    pub(crate) fn with_slice<R>(self, tc: &TaskContext, f: impl FnOnce(&[T]) -> R) -> R {
+        match self {
+            Pipe::Shared(a) => f(&a),
+            Pipe::Owned(v) => f(&v),
+            Pipe::Iter(it) => {
+                let v: Vec<T> = it.collect();
+                tc.note_materialized(slice_bytes(&v));
+                f(&v)
+            }
+        }
+    }
+
+    /// Number of elements, consuming the pipe. Already-materialized buffers
+    /// answer without touching elements; a lazy chain is drained (the
+    /// upstream work still runs, and still gets counted).
+    pub(crate) fn count(self) -> u64 {
+        match self {
+            Pipe::Shared(a) => a.len() as u64,
+            Pipe::Owned(v) => v.len() as u64,
+            Pipe::Iter(it) => it.count() as u64,
+        }
+    }
+}
+
+/// Streaming element source for a [`Pipe`].
+pub(crate) enum PipeIter<'a, T: Data> {
+    Shared(Arc<Vec<T>>, usize),
+    Owned(std::vec::IntoIter<T>),
+    Boxed(Box<dyn Iterator<Item = T> + 'a>),
+}
+
+impl<'a, T: Data> IntoIterator for Pipe<'a, T> {
+    type Item = T;
+    type IntoIter = PipeIter<'a, T>;
+    fn into_iter(self) -> PipeIter<'a, T> {
+        match self {
+            Pipe::Shared(a) => PipeIter::Shared(a, 0),
+            Pipe::Owned(v) => PipeIter::Owned(v.into_iter()),
+            Pipe::Iter(b) => PipeIter::Boxed(b),
+        }
+    }
+}
+
+impl<T: Data> Iterator for PipeIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            PipeIter::Shared(a, i) => {
+                let item = a.get(*i).cloned();
+                if item.is_some() {
+                    *i += 1;
+                }
+                item
+            }
+            PipeIter::Owned(it) => it.next(),
+            PipeIter::Boxed(it) => it.next(),
+        }
+    }
+}
+
+/// Counts elements pulled from the upstream pipe and flushes the count as
+/// this operator's `records_in` when the pipeline is dropped (end of task).
+/// Totals match the eager evaluator's bulk `add_records_in(len)` whenever
+/// the pipe is fully drained; an incremental `take` legitimately counts
+/// fewer — only what it actually pulled.
+pub(crate) struct CountPulled<'a, I> {
+    inner: I,
+    tc: &'a TaskContext,
+    n: u64,
+}
+
+impl<'a, I> CountPulled<'a, I> {
+    pub(crate) fn new(inner: I, tc: &'a TaskContext) -> Self {
+        CountPulled { inner, tc, n: 0 }
+    }
+}
+
+impl<I: Iterator> Iterator for CountPulled<'_, I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.n += 1;
+        }
+        item
+    }
+}
+
+impl<I> Drop for CountPulled<'_, I> {
+    fn drop(&mut self) {
+        self.tc.add_records_in(self.n);
+    }
+}
+
+/// Counts elements an operator emits downstream and flushes the count as
+/// its `records_out` on drop. See [`CountPulled`].
+pub(crate) struct CountProduced<'a, I> {
+    inner: I,
+    tc: &'a TaskContext,
+    n: u64,
+}
+
+impl<'a, I> CountProduced<'a, I> {
+    pub(crate) fn new(inner: I, tc: &'a TaskContext) -> Self {
+        CountProduced { inner, tc, n: 0 }
+    }
+}
+
+impl<I: Iterator> Iterator for CountProduced<'_, I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.n += 1;
+        }
+        item
+    }
+}
+
+impl<I> Drop for CountProduced<'_, I> {
+    fn drop(&mut self) {
+        self.tc.add_records_out(self.n);
+    }
+}
 
 /// Identity and bookkeeping shared by every operator node.
 pub(crate) struct RddMeta {
@@ -72,9 +278,11 @@ pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
     fn num_partitions(&self) -> usize;
     /// Locality preference for a partition, if any.
     fn preferred_node(&self, part: usize) -> Option<NodeId>;
-    /// Compute one partition from scratch (never consults the cache — that
-    /// is [`materialize`]'s job).
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T>;
+    /// Produce one partition as a streaming pipe, from scratch (never
+    /// consults the cache — that is [`materialize`]'s job). Narrow
+    /// operators return a lazy chain over their parent's pipe; breakers
+    /// return materialized buffers.
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T>;
     /// Append the shuffle stages this lineage depends on (nearest only; each
     /// stage pulls in its own ancestors when prepared).
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>);
@@ -93,17 +301,29 @@ pub(crate) fn node_for<T: Data>(imp: &Arc<dyn RddImpl<T>>, part: usize) -> NodeI
         .unwrap_or_else(|| imp.meta().ctx.cluster().spec().home_node(part))
 }
 
-/// Produce a partition's data, going through the cache when the RDD is
-/// marked cached: hit → charge a memory scan; miss → compute via lineage and
-/// store on the partition's home node (possibly evicting LRU entries).
-pub(crate) fn materialize<T: Data>(
-    imp: &Arc<dyn RddImpl<T>>,
+/// Produce a partition's pipe, going through the cache when the RDD is
+/// marked cached: hit → charge a memory scan and stream out of the stored
+/// `Arc` without copying it; miss → compute via lineage, collapse the pipe
+/// (a cache insert is a breaker), and store on the partition's home node
+/// (possibly evicting LRU entries).
+///
+/// Under [`ExecMode::Eager`] the pipe is additionally collapsed to a fresh
+/// buffer at *this* operator boundary, reproducing the pre-fusion engine's
+/// per-operator allocation pattern.
+pub(crate) fn materialize<'a, T: Data>(
+    imp: &'a Arc<dyn RddImpl<T>>,
     part: usize,
-    tc: &mut TaskContext,
-) -> Arc<Vec<T>> {
+    tc: &'a TaskContext,
+) -> Pipe<'a, T> {
     let meta = imp.meta();
+    let eager = meta.ctx.exec_mode() == ExecMode::Eager;
     let Some(level) = meta.level() else {
-        return Arc::new(imp.compute(part, tc));
+        let pipe = imp.compute(part, tc);
+        return if eager {
+            Pipe::Shared(Arc::new(pipe.into_vec(tc)))
+        } else {
+            pipe
+        };
     };
     if let Some((data, bytes, tier)) = meta.ctx.cache().get::<T>(meta.id, part) {
         match tier {
@@ -111,16 +331,18 @@ pub(crate) fn materialize<T: Data>(
             CacheTier::Disk => tc.add_disk_read(bytes),
         }
         tc.note_cache_hit();
-        return data;
+        tc.note_records_read(data.len() as u64);
+        return Pipe::Shared(data);
     }
     tc.note_cache_miss();
-    let data = Arc::new(imp.compute(part, tc));
+    let data = Arc::new(imp.compute(part, tc).into_vec(tc));
+    tc.note_records_written(data.len() as u64);
     let bytes = 8 + slice_bytes(&data);
     let node = node_for(imp, part).index();
     meta.ctx
         .cache()
         .put(meta.id, part, node, Arc::clone(&data), bytes, level);
-    data
+    Pipe::Shared(data)
 }
 
 /// A resilient distributed dataset: the public handle. Cheap to clone.
@@ -215,10 +437,12 @@ impl<T: Data> Rdd<T> {
 
     /// Transform a whole partition at once, with access to the
     /// [`TaskContext`] for custom CPU-work accounting (YAFIM uses this for
-    /// hash-tree traversal counting).
+    /// hash-tree traversal counting). The closure sees the partition as one
+    /// slice, so this operator collapses a lazy upstream chain — but a
+    /// cached parent streams its stored buffer in zero-copy.
     pub fn map_partitions<U: Data>(
         &self,
-        f: impl Fn(&[T], &mut TaskContext) -> Vec<U> + Send + Sync + 'static,
+        f: impl Fn(&[T], &TaskContext) -> Vec<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
         let imp = Arc::new(MapPartitionsRdd {
             meta: RddMeta::new(&self.ctx),
@@ -264,13 +488,21 @@ impl<T: Data> Rdd<T> {
         exec::try_count(self)
     }
 
-    /// Action: the first `n` elements in partition order. (Computes all
-    /// partitions; the paper's workloads never rely on Spark's incremental
-    /// `take` optimization.)
+    /// Action: the first `n` elements in partition order, computed
+    /// incrementally: each task stops pulling from its partition's pipeline
+    /// once `n` elements are gathered, and later partitions are only
+    /// scheduled (in exponentially growing batches, as in Spark) when the
+    /// earlier ones under-fill.
+    ///
+    /// Panics if the job aborts under an active fault plan; use
+    /// [`Rdd::try_take`] for the fallible variant.
     pub fn take(&self, n: usize) -> Vec<T> {
-        let mut v = self.collect();
-        v.truncate(n);
-        v
+        self.try_take(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `take`; see [`Rdd::try_collect`].
+    pub fn try_take(&self, n: usize) -> Result<Vec<T>, crate::exec::ExecError> {
+        exec::try_take(self, n)
     }
 }
 
@@ -305,10 +537,12 @@ where
 // Operator nodes
 // ---------------------------------------------------------------------------
 
-/// Source: an in-memory collection pre-chunked on the driver.
+/// Source: an in-memory collection pre-chunked on the driver. Each chunk is
+/// behind its own `Arc`, so computing a partition shares the driver's buffer
+/// with the pipeline instead of cloning it.
 pub(crate) struct ParallelizeRdd<T: Data> {
     pub(crate) meta: RddMeta,
-    pub(crate) chunks: Arc<Vec<Vec<T>>>,
+    pub(crate) chunks: Vec<Arc<Vec<T>>>,
 }
 
 impl<T: Data> RddImpl<T> for ParallelizeRdd<T> {
@@ -324,18 +558,21 @@ impl<T: Data> RddImpl<T> for ParallelizeRdd<T> {
         None
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
         let chunk = &self.chunks[part];
-        // The driver ships the chunk to the worker on first compute.
+        // The driver ships the whole chunk to the worker on every compute,
+        // regardless of how much of it the pipeline ends up pulling.
         tc.add_net(slice_bytes(chunk));
         tc.add_records_out(chunk.len() as u64);
-        chunk.clone()
+        tc.note_records_read(chunk.len() as u64);
+        Pipe::Shared(Arc::clone(chunk))
     }
 
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
 }
 
-/// Source: a text file in simulated HDFS, one element per line.
+/// Source: a text file in simulated HDFS, one element per line. Streams the
+/// split's lines straight out of the DFS block, cloning per pulled line.
 pub(crate) struct HdfsTextRdd {
     pub(crate) meta: RddMeta,
     pub(crate) file: DfsFile,
@@ -355,7 +592,7 @@ impl RddImpl<String> for HdfsTextRdd {
         Some(self.splits[part].preferred_node)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<String> {
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, String> {
         let split = &self.splits[part];
         if split.preferred_node == tc.node {
             tc.add_disk_read(split.bytes);
@@ -365,7 +602,8 @@ impl RddImpl<String> for HdfsTextRdd {
         }
         let lines = &self.file.lines()[split.lines.clone()];
         tc.add_records_out(lines.len() as u64);
-        lines.to_vec()
+        tc.note_records_read(lines.len() as u64);
+        Pipe::Iter(Box::new(lines.iter().cloned()))
     }
 
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
@@ -390,12 +628,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapRdd<P, T> {
         self.parent.preferred_node(part)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
-        let input = materialize(&self.parent, part, tc);
-        tc.add_records_in(input.len() as u64);
-        let out: Vec<T> = input.iter().cloned().map(|p| (self.f)(p)).collect();
-        tc.add_records_out(out.len() as u64);
-        out
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        let f = Arc::clone(&self.f);
+        let inp = CountPulled::new(materialize(&self.parent, part, tc).into_iter(), tc);
+        Pipe::Iter(Box::new(CountProduced::new(inp.map(move |p| f(p)), tc)))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
@@ -426,12 +662,13 @@ impl<P: Data, T: Data> RddImpl<T> for FlatMapRdd<P, T> {
         self.parent.preferred_node(part)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
-        let input = materialize(&self.parent, part, tc);
-        tc.add_records_in(input.len() as u64);
-        let out: Vec<T> = input.iter().cloned().flat_map(|p| (self.f)(p)).collect();
-        tc.add_records_out(out.len() as u64);
-        out
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        let f = Arc::clone(&self.f);
+        let inp = CountPulled::new(materialize(&self.parent, part, tc).into_iter(), tc);
+        Pipe::Iter(Box::new(CountProduced::new(
+            inp.flat_map(move |p| f(p)),
+            tc,
+        )))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
@@ -462,12 +699,10 @@ impl<T: Data> RddImpl<T> for FilterRdd<T> {
         self.parent.preferred_node(part)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
-        let input = materialize(&self.parent, part, tc);
-        tc.add_records_in(input.len() as u64);
-        let out: Vec<T> = input.iter().filter(|t| (self.f)(t)).cloned().collect();
-        tc.add_records_out(out.len() as u64);
-        out
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        let f = Arc::clone(&self.f);
+        let inp = CountPulled::new(materialize(&self.parent, part, tc).into_iter(), tc);
+        Pipe::Iter(Box::new(CountProduced::new(inp.filter(move |t| f(t)), tc)))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
@@ -483,7 +718,7 @@ pub(crate) struct MapPartitionsRdd<P: Data, T: Data> {
     meta: RddMeta,
     parent: Arc<dyn RddImpl<P>>,
     #[allow(clippy::type_complexity)]
-    f: Arc<dyn Fn(&[P], &mut TaskContext) -> Vec<T> + Send + Sync>,
+    f: Arc<dyn Fn(&[P], &TaskContext) -> Vec<T> + Send + Sync>,
 }
 
 impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
@@ -499,12 +734,14 @@ impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
         self.parent.preferred_node(part)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
         let input = materialize(&self.parent, part, tc);
-        tc.add_records_in(input.len() as u64);
-        let out = (self.f)(&input, tc);
+        let out = input.with_slice(tc, |s| {
+            tc.add_records_in(s.len() as u64);
+            (self.f)(s, tc)
+        });
         tc.add_records_out(out.len() as u64);
-        out
+        Pipe::Owned(out)
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {
@@ -549,11 +786,12 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
         parent.preferred_node(local)
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<T> {
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
         let (parent, local) = self.locate(part);
-        let input = materialize(parent, local, tc);
-        tc.add_records_in(input.len() as u64);
-        input.as_ref().clone()
+        Pipe::Iter(Box::new(CountPulled::new(
+            materialize(parent, local, tc).into_iter(),
+            tc,
+        )))
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {

@@ -23,7 +23,7 @@
 
 use crate::context::Context;
 use crate::exec::{self, ExecError};
-use crate::rdd::{materialize, Data, RddImpl, RddMeta};
+use crate::rdd::{materialize, Data, Pipe, RddImpl, RddMeta};
 use crate::task::TaskContext;
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -270,24 +270,28 @@ where
             Some(self.meta.id),
             map_parts.len(),
             preferred,
-            Arc::new(move |idx: usize, tc: &mut TaskContext| {
+            Arc::new(move |idx: usize, tc: &TaskContext| {
                 let part = task_parts[idx];
-                let input = materialize(&parent, part, tc);
-                tc.add_records_in(input.len() as u64);
 
-                // Map-side combine (Spark's aggregator): deterministic
-                // because input order and the Fx hasher are deterministic.
+                // Map-side combine (Spark's aggregator): the parent's fused
+                // pipeline streams straight into the combiner — the shuffle
+                // write is the first pipeline breaker in the stage, so no
+                // intermediate partition buffer exists. Deterministic
+                // because stream order and the Fx hasher are deterministic.
+                let mut records_in = 0u64;
                 let mut combined: FxHashMap<K, V> = FxHashMap::default();
-                for (k, v) in input.iter() {
-                    match combined.remove(k) {
+                for (k, v) in materialize(&parent, part, tc) {
+                    records_in += 1;
+                    match combined.remove(&k) {
                         Some(prev) => {
-                            combined.insert(k.clone(), reducer(prev, v.clone()));
+                            combined.insert(k, reducer(prev, v));
                         }
                         None => {
-                            combined.insert(k.clone(), v.clone());
+                            combined.insert(k, v);
                         }
                     }
                 }
+                tc.add_records_in(records_in);
 
                 let mut buckets: MapOut<K, V> = (0..out_parts).map(|_| Vec::new()).collect();
                 for (k, v) in combined {
@@ -312,6 +316,8 @@ where
                 tc.add_ser(total_bytes);
                 tc.add_disk_write(total_bytes); // shuffle file write
                 tc.note_shuffle_write(total_bytes);
+                tc.note_records_written(total_records);
+                tc.note_materialized(total_bytes);
 
                 buckets
             }),
@@ -396,7 +402,7 @@ where
         None
     }
 
-    fn compute(&self, part: usize, tc: &mut TaskContext) -> Vec<(K, V)> {
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, (K, V)> {
         let mat = self
             .ctx()
             .shuffles()
@@ -428,11 +434,16 @@ where
             }
         }
         tc.add_records_in(records);
+        tc.note_records_read(records);
         let mut out: Vec<(K, V)> = agg.into_iter().collect();
-        // Pin down output order for run-to-run determinism.
+        // Pin down output order for run-to-run determinism. The sort makes
+        // the reduce output a genuine pipeline breaker: it owns one
+        // materialized buffer, which downstream narrow operators then
+        // stream out of.
         out.sort_by_key(|(k, _)| yafim_cluster::fx_hash64(k));
         tc.add_records_out(out.len() as u64);
-        out
+        tc.note_materialized(slice_bytes(&out));
+        Pipe::Owned(out)
     }
 
     fn collect_shuffle_deps(&self, out: &mut Vec<Arc<dyn ShuffleStage>>) {

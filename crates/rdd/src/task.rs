@@ -1,16 +1,22 @@
 //! Per-task execution context.
 
+use std::cell::Cell;
 use yafim_cluster::{NodeId, TaskProfile, WorkCounters};
 
 /// Handed to every task closure. Carries the task's identity and the work
 //  counters that drive virtual-time accounting, plus attribution counters
-//  (shuffle/broadcast bytes, cache behaviour) for the observability layer.
+//  (shuffle/broadcast bytes, cache behaviour, pipeline records) for the
+//  observability layer.
+///
+/// Counters live behind a [`Cell`] so a fused iterator pipeline — whose
+/// adapters each borrow the context for the whole stage — can keep charging
+/// work through a shared `&TaskContext` while elements stream through.
 pub struct TaskContext {
     /// Partition index this task computes.
     pub partition: usize,
     /// Virtual node the task runs on (locality decision made by the driver).
     pub node: NodeId,
-    profile: TaskProfile,
+    profile: Cell<TaskProfile>,
 }
 
 impl TaskContext {
@@ -19,96 +25,121 @@ impl TaskContext {
         TaskContext {
             partition,
             node,
-            profile: TaskProfile::new(),
+            profile: Cell::new(TaskProfile::new()),
         }
     }
 
+    fn update(&self, f: impl FnOnce(&mut TaskProfile)) {
+        let mut p = self.profile.get();
+        f(&mut p);
+        self.profile.set(p);
+    }
+
     /// Record `n` records flowing into an operator.
-    pub fn add_records_in(&mut self, n: u64) {
-        self.profile.work.add_records_in(n);
+    pub fn add_records_in(&self, n: u64) {
+        self.update(|p| p.work.add_records_in(n));
     }
 
     /// Record `n` records produced by an operator.
-    pub fn add_records_out(&mut self, n: u64) {
-        self.profile.work.add_records_out(n);
+    pub fn add_records_out(&self, n: u64) {
+        self.update(|p| p.work.add_records_out(n));
     }
 
     /// Record extra CPU work units (hash-tree visits, comparisons…).
-    pub fn add_cpu(&mut self, units: u64) {
-        self.profile.work.add_cpu(units);
+    pub fn add_cpu(&self, units: u64) {
+        self.update(|p| p.work.add_cpu(units));
     }
 
     /// Record a node-local disk read.
-    pub fn add_disk_read(&mut self, bytes: u64) {
-        self.profile.work.add_disk_read(bytes);
+    pub fn add_disk_read(&self, bytes: u64) {
+        self.update(|p| p.work.add_disk_read(bytes));
     }
 
     /// Record a node-local disk write.
-    pub fn add_disk_write(&mut self, bytes: u64) {
-        self.profile.work.add_disk_write(bytes);
+    pub fn add_disk_write(&self, bytes: u64) {
+        self.update(|p| p.work.add_disk_write(bytes));
     }
 
     /// Record a scan of cached in-memory data.
-    pub fn add_mem_read(&mut self, bytes: u64) {
-        self.profile.work.add_mem_read(bytes);
+    pub fn add_mem_read(&self, bytes: u64) {
+        self.update(|p| p.work.add_mem_read(bytes));
     }
 
     /// Record a network fetch.
-    pub fn add_net(&mut self, bytes: u64) {
-        self.profile.work.add_net(bytes);
+    pub fn add_net(&self, bytes: u64) {
+        self.update(|p| p.work.add_net(bytes));
     }
 
     /// Record bytes crossing a serialization boundary.
-    pub fn add_ser(&mut self, bytes: u64) {
-        self.profile.work.add_ser(bytes);
+    pub fn add_ser(&self, bytes: u64) {
+        self.update(|p| p.work.add_ser(bytes));
     }
 
     /// Attribute bytes already charged to the physical counters as a
     /// shuffle fetch (local + remote).
-    pub fn note_shuffle_read(&mut self, bytes: u64) {
-        self.profile.shuffle_read_bytes += bytes;
+    pub fn note_shuffle_read(&self, bytes: u64) {
+        self.update(|p| p.shuffle_read_bytes += bytes);
     }
 
     /// Attribute bytes already charged to the physical counters as a
     /// map-side shuffle-file write.
-    pub fn note_shuffle_write(&mut self, bytes: u64) {
-        self.profile.shuffle_write_bytes += bytes;
+    pub fn note_shuffle_write(&self, bytes: u64) {
+        self.update(|p| p.shuffle_write_bytes += bytes);
     }
 
     /// Attribute bytes already charged to the physical counters as a read
     /// of a broadcast variable.
-    pub fn note_broadcast_read(&mut self, bytes: u64) {
-        self.profile.broadcast_read_bytes += bytes;
+    pub fn note_broadcast_read(&self, bytes: u64) {
+        self.update(|p| p.broadcast_read_bytes += bytes);
     }
 
     /// Count a partition read served from the cache (any tier).
-    pub fn note_cache_hit(&mut self) {
-        self.profile.cache_hits += 1;
+    pub fn note_cache_hit(&self) {
+        self.update(|p| p.cache_hits += 1);
     }
 
     /// Count a partition read that missed the cache and recomputed.
-    pub fn note_cache_miss(&mut self) {
-        self.profile.cache_misses += 1;
+    pub fn note_cache_miss(&self) {
+        self.update(|p| p.cache_misses += 1);
+    }
+
+    /// Attribute `n` records entering the pipeline from a stable input
+    /// (source partition, cache hit, shuffle fetch). Time-neutral.
+    pub fn note_records_read(&self, n: u64) {
+        self.update(|p| p.records_read += n);
+    }
+
+    /// Attribute `n` records leaving the pipeline through a breaker
+    /// (shuffle write, cache insert, driver fetch). Time-neutral.
+    pub fn note_records_written(&self, n: u64) {
+        self.update(|p| p.records_written += n);
+    }
+
+    /// Attribute `bytes` buffered into a `Vec` at a pipeline breaker (or,
+    /// in the eager reference evaluator, at every operator). Time-neutral:
+    /// the physical cost of moving those bytes is charged separately.
+    pub fn note_materialized(&self, bytes: u64) {
+        self.update(|p| p.bytes_materialized += bytes);
     }
 
     /// Snapshot of the accumulated physical counters.
-    pub fn work(&self) -> &WorkCounters {
-        &self.profile.work
+    pub fn work(&self) -> WorkCounters {
+        self.profile.get().work
     }
 
     /// Snapshot of the full profile (physical + attribution).
-    pub fn profile(&self) -> &TaskProfile {
-        &self.profile
+    pub fn profile(&self) -> TaskProfile {
+        self.profile.get()
     }
 
     /// Consume the context, yielding the final physical counters.
     pub fn into_work(self) -> WorkCounters {
-        self.profile.work
+        self.profile.get().work
     }
 
     /// Consume the context, yielding the full profile.
     pub fn into_profile(self) -> TaskProfile {
-        self.profile
+        self.profile.get()
     }
 }
 
@@ -118,7 +149,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut tc = TaskContext::new(3, NodeId(1));
+        let tc = TaskContext::new(3, NodeId(1));
         tc.add_records_in(2);
         tc.add_cpu(10);
         tc.add_mem_read(100);
@@ -131,18 +162,38 @@ mod tests {
 
     #[test]
     fn attribution_never_touches_physical_counters() {
-        let mut tc = TaskContext::new(0, NodeId(0));
+        let tc = TaskContext::new(0, NodeId(0));
         tc.note_shuffle_read(100);
         tc.note_shuffle_write(200);
         tc.note_broadcast_read(300);
         tc.note_cache_hit();
         tc.note_cache_miss();
+        tc.note_records_read(5);
+        tc.note_records_written(4);
+        tc.note_materialized(64);
         let p = tc.into_profile();
         assert_eq!(p.shuffle_read_bytes, 100);
         assert_eq!(p.shuffle_write_bytes, 200);
         assert_eq!(p.broadcast_read_bytes, 300);
         assert_eq!(p.cache_hits, 1);
         assert_eq!(p.cache_misses, 1);
+        assert_eq!(p.records_read, 5);
+        assert_eq!(p.records_written, 4);
+        assert_eq!(p.bytes_materialized, 64);
         assert_eq!(p.work, WorkCounters::new(), "attribution is time-neutral");
+    }
+
+    #[test]
+    fn shared_reference_charges_through_cell() {
+        // A fused pipeline holds one `&TaskContext` in several adapters at
+        // once; charging through any of them must be visible to all.
+        let tc = TaskContext::new(0, NodeId(0));
+        let a: &TaskContext = &tc;
+        let b: &TaskContext = &tc;
+        a.add_records_in(1);
+        b.add_records_out(2);
+        assert_eq!(tc.work().records_in, 1);
+        assert_eq!(tc.work().records_out, 2);
+        assert_eq!(tc.work().cpu_units, 3);
     }
 }
