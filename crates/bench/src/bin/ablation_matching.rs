@@ -1,24 +1,161 @@
-//! Ablation: the candidate hash tree vs naive list-scan matching in the
-//! MapReduce baseline — quantifies how much of YAFIM's win comes from the
-//! framework (in-memory reuse, cheap stages) rather than from the hash tree
-//! data structure itself, by giving the MR baseline each matcher in turn.
+//! Ablation: candidate matching and the Phase-II hot path.
 //!
-//! Usage: `cargo run -p yafim-bench --release --bin ablation_matching [--scale X]`
+//! Two sections:
+//!
+//! 1. **MR-Apriori matcher** — hash tree vs naive list-scan in the MapReduce
+//!    baseline: quantifies how much of YAFIM's win comes from the framework
+//!    rather than the hash tree data structure.
+//! 2. **YAFIM Phase II** — the paper-faithful hash-tree engine vs the dense
+//!    projection + triangular pass-2 counter vs trie matching vs everything
+//!    combined (projection + triangle + trie + cross-pass trimming), on a
+//!    pass-2-dominated QUEST-style workload (dense alphabet, low support,
+//!    so `|C_2| = |L1|·(|L1|−1)/2` dwarfs every other pass). Wall-clock
+//!    pass 2 is isolated as `median wall(max_passes=2) − median
+//!    wall(max_passes=1)`; the transaction count is the numerator for every
+//!    config, so records/sec ratios equal time ratios.
+//!
+//! Every configuration must return byte-identical itemsets, supports and
+//! per-pass candidate/frequent counts — the bench *fails* on any
+//! divergence, which is what the CI smoke step leans on.
+//!
+//! Output:
+//! * stdout + `results/ablation_matching.txt` — human-readable report
+//!   (wall-clock numbers vary run to run; everything else is deterministic);
+//! * `BENCH_phase2.json` — machine-readable: per-pass virtual stats,
+//!   pass-2 wall records/sec, peak cache bytes, pass-2 speedup.
+//!
+//! Usage: `cargo run -p yafim-bench --release --bin ablation_matching
+//! [--scale X] [--smoke]`
 
+use std::fmt::Write as _;
+use std::time::Instant;
 use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
-use yafim_cluster::ClusterSpec;
-use yafim_core::{MrApriori, MrAprioriConfig, MrMatching};
-use yafim_data::PaperDataset;
+use yafim_cluster::json::JsonValue;
+use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_core::{
+    apriori, Matcher, MinerRun, MrApriori, MrAprioriConfig, MrMatching, Phase2Config,
+    SequentialConfig, Support, Yafim, YafimConfig,
+};
+use yafim_data::{to_lines, PaperDataset, QuestConfig, QuestGenerator};
+use yafim_rdd::Context;
+
+/// The swept Phase-II configurations, mildest to most aggressive.
+fn phase2_configs() -> Vec<(&'static str, Phase2Config)> {
+    vec![
+        ("hash tree (paper)", Phase2Config::paper()),
+        (
+            "dense + trie",
+            Phase2Config {
+                project: true,
+                triangle_pass2: false,
+                matcher: Matcher::Trie,
+                trim: false,
+            },
+        ),
+        (
+            "dense + triangle p2",
+            Phase2Config {
+                project: true,
+                triangle_pass2: true,
+                matcher: Matcher::HashTree,
+                trim: false,
+            },
+        ),
+        ("triangle + trie + trim", Phase2Config::optimized()),
+    ]
+}
+
+fn cluster() -> SimCluster {
+    SimCluster::with_threads(ClusterSpec::new(4, 4, 1 << 30), CostModel::hadoop_era(), 8)
+}
+
+fn miner(c: &SimCluster, support: Support, phase2: Phase2Config, max_passes: usize) -> Yafim {
+    let cfg = YafimConfig {
+        max_passes,
+        phase2,
+        ..YafimConfig::new(support)
+    };
+    Yafim::new(Context::new(c.clone()), cfg)
+}
+
+/// Deterministic accounting run: full mining, returning the run (virtual
+/// per-pass stats) and the peak cache footprint.
+fn accounting_run(lines: &[String], support: Support, phase2: &Phase2Config) -> (MinerRun, u64) {
+    let c = cluster();
+    c.hdfs().put_overwrite("q.dat", lines.to_vec());
+    let ctx = Context::new(c.clone());
+    let run = Yafim::new(
+        ctx.clone(),
+        YafimConfig {
+            phase2: phase2.clone(),
+            ..YafimConfig::new(support)
+        },
+    )
+    .mine("q.dat")
+    .expect("dataset written");
+    (run, ctx.cache().stats().peak_bytes)
+}
+
+/// Median wall-clock seconds of a full `mine` limited to `max_passes`,
+/// fresh cluster per sample.
+fn wall_seconds(
+    lines: &[String],
+    support: Support,
+    phase2: &Phase2Config,
+    max_passes: usize,
+    samples: usize,
+) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let c = cluster();
+            c.hdfs().put_overwrite("q.dat", lines.to_vec());
+            let m = miner(&c, support, phase2.clone(), max_passes);
+            let t0 = Instant::now();
+            std::hint::black_box(m.mine("q.dat").expect("dataset written"));
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct ConfigRun {
+    label: &'static str,
+    run: MinerRun,
+    peak_cache_bytes: u64,
+    /// Isolated pass-2 wall seconds (`wall(2 passes) − wall(1 pass)`).
+    pass2_seconds: f64,
+    /// Transactions through pass 2 per wall second (same numerator for
+    /// every config: the raw dataset size).
+    pass2_records_per_sec: f64,
+    total_wall_seconds: f64,
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2} M/s", r / 1e6)
+    } else {
+        format!("{:.1} k/s", r / 1e3)
+    }
+}
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let scale: f64 = std::env::args()
         .skip_while(|a| a != "--scale")
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+        .unwrap_or(if smoke { 0.05 } else { 0.25 });
 
-    println!("== Ablation: MR-Apriori candidate matching strategy ==");
-    println!(
+    let mut report = String::new();
+
+    // ---- Section 1: MR-Apriori matcher ----
+    let _ = writeln!(
+        report,
+        "== Ablation 1: MR-Apriori candidate matching strategy =="
+    );
+    let _ = writeln!(
+        report,
         "{:<12} {:>16} {:>16} {:>10}",
         "dataset", "hash tree (s)", "naive scan (s)", "penalty"
     );
@@ -37,12 +174,12 @@ fn main() {
             totals.push(run.total_seconds);
             results.push(run.result);
         }
-        assert_eq!(
-            results[0], results[1],
-            "matchers must agree on {}",
-            data.name
-        );
-        println!(
+        if results[0] != results[1] {
+            eprintln!("FAIL: MR matchers diverge on {}", data.name);
+            std::process::exit(1);
+        }
+        let _ = writeln!(
+            report,
             "{:<12} {:>16.2} {:>16.2} {:>9.2}x",
             data.name,
             totals[0],
@@ -50,5 +187,207 @@ fn main() {
             totals[1] / totals[0]
         );
     }
-    println!("\n(Both matchers return identical itemsets; only the cost differs.)");
+
+    // ---- Section 2: YAFIM Phase-II hot path ----
+    //
+    // Dense alphabet + low support → |L1| ≈ items, so pass 2 counts
+    // |L1|·(|L1|−1)/2 pairs and dominates the run: exactly the regime the
+    // triangular counter targets. Planted QUEST patterns keep L2/L3
+    // non-empty so trie matching runs too.
+    let (transactions, items, support_frac, samples) = if smoke {
+        (800, 80u32, 0.02, 1)
+    } else {
+        (6000, 300u32, 0.008, 5)
+    };
+    let support = Support::Fraction(support_frac);
+    let tx = QuestGenerator::new(QuestConfig {
+        transactions,
+        items,
+        avg_transaction_len: 12.0,
+        avg_pattern_len: 4.0,
+        patterns: 40,
+        correlation: 0.25,
+        keep_fraction: 0.7,
+        seed: 0xab1a_7104,
+    })
+    .generate();
+    let lines = to_lines(&tx);
+
+    // Parity gate: every configuration against the sequential reference —
+    // identical itemsets, supports and per-pass metadata.
+    let reference = apriori(&tx, &SequentialConfig::new(support));
+    let mut runs: Vec<ConfigRun> = Vec::new();
+    for (label, p2) in phase2_configs() {
+        let (run, peak_cache_bytes) = accounting_run(&lines, support, &p2);
+        if run.result != reference {
+            eprintln!("FAIL: '{label}' diverges from the sequential reference");
+            std::process::exit(1);
+        }
+        runs.push(ConfigRun {
+            label,
+            run,
+            peak_cache_bytes,
+            pass2_seconds: f64::NAN,
+            pass2_records_per_sec: f64::NAN,
+            total_wall_seconds: f64::NAN,
+        });
+    }
+    let baseline_passes: Vec<_> = runs[0]
+        .run
+        .passes
+        .iter()
+        .map(|p| (p.pass, p.candidates, p.frequent))
+        .collect();
+    for r in &runs[1..] {
+        let got: Vec<_> = r
+            .run
+            .passes
+            .iter()
+            .map(|p| (p.pass, p.candidates, p.frequent))
+            .collect();
+        if got != baseline_passes {
+            eprintln!(
+                "FAIL: '{}' pass metadata diverges from the paper engine",
+                r.label
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if smoke {
+        print!("{report}");
+        println!(
+            "\n== Ablation 2: YAFIM Phase-II hot path ==\n\
+             smoke mode: {} configs byte-identical to the sequential reference \
+             on {} QUEST transactions ({} frequent itemsets, {} passes); \
+             skipping wall-clock sweep and result files",
+            runs.len(),
+            tx.len(),
+            reference.total(),
+            runs[0].run.passes.len()
+        );
+        return;
+    }
+
+    // Wall-clock sweep: isolate pass 2 per config.
+    for r in &mut runs {
+        let p2 = phase2_configs()
+            .into_iter()
+            .find(|(l, _)| *l == r.label)
+            .expect("label round-trips")
+            .1;
+        let one = wall_seconds(&lines, support, &p2, 1, samples);
+        let two = wall_seconds(&lines, support, &p2, 2, samples);
+        r.total_wall_seconds = wall_seconds(&lines, support, &p2, 0, samples);
+        r.pass2_seconds = (two - one).max(1e-9);
+        r.pass2_records_per_sec = tx.len() as f64 / r.pass2_seconds;
+    }
+
+    let _ = writeln!(
+        report,
+        "\n== Ablation 2: YAFIM Phase-II hot path ({} QUEST transactions, {} items, \
+         minsup {:.1}%, |C2| = {}) ==",
+        tx.len(),
+        items,
+        support_frac * 100.0,
+        runs[0].run.passes.get(1).map_or(0, |p| p.candidates)
+    );
+    let _ = writeln!(
+        report,
+        "{:<24} {:>12} {:>14} {:>12} {:>14} {:>12}",
+        "configuration", "pass 2 (s)", "p2 records/s", "p2 speedup", "peak cache", "total (s)"
+    );
+    let base_p2 = runs[0].pass2_seconds;
+    for r in &runs {
+        let _ = writeln!(
+            report,
+            "{:<24} {:>10.3} s {:>14} {:>11.2}x {:>12} B {:>10.3} s",
+            r.label,
+            r.pass2_seconds,
+            fmt_rate(r.pass2_records_per_sec),
+            base_p2 / r.pass2_seconds,
+            r.peak_cache_bytes,
+            r.total_wall_seconds,
+        );
+    }
+    let _ = writeln!(
+        report,
+        "\nper-pass (virtual, identical candidates/frequent across configs):"
+    );
+    for p in &runs[0].run.passes {
+        let _ = writeln!(
+            report,
+            "  pass {}: {} candidates, {} frequent",
+            p.pass, p.candidates, p.frequent
+        );
+    }
+    let best = runs
+        .iter()
+        .map(|r| base_p2 / r.pass2_seconds)
+        .fold(f64::NAN, f64::max);
+    let _ = writeln!(
+        report,
+        "\nbest pass-2 speedup over the paper engine: {best:.2}x | parity: ok \
+         ({} frequent itemsets, every config byte-identical)",
+        reference.total()
+    );
+    print!("{report}");
+
+    if best < 1.5 {
+        eprintln!("FAIL: specialized pass 2 must be at least 1.5x the hash-tree baseline");
+        std::process::exit(1);
+    }
+
+    std::fs::write("results/ablation_matching.txt", &report)
+        .expect("write results/ablation_matching.txt");
+
+    let config_json = |r: &ConfigRun| {
+        JsonValue::object(vec![
+            ("pass2_seconds", JsonValue::Number(r.pass2_seconds)),
+            (
+                "pass2_records_per_sec",
+                JsonValue::Number(r.pass2_records_per_sec),
+            ),
+            (
+                "pass2_speedup",
+                JsonValue::Number(base_p2 / r.pass2_seconds),
+            ),
+            ("peak_cache_bytes", r.peak_cache_bytes.into()),
+            (
+                "total_wall_seconds",
+                JsonValue::Number(r.total_wall_seconds),
+            ),
+            (
+                "passes",
+                JsonValue::Array(
+                    r.run
+                        .passes
+                        .iter()
+                        .map(|p| {
+                            JsonValue::object(vec![
+                                ("pass", p.pass.into()),
+                                ("virtual_seconds", JsonValue::Number(p.seconds)),
+                                ("candidates", p.candidates.into()),
+                                ("frequent", p.frequent.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    let json = JsonValue::object(vec![
+        ("bench", "phase2".into()),
+        ("transactions", tx.len().into()),
+        ("items", (items as usize).into()),
+        ("frequent_itemsets", reference.total().into()),
+        (
+            "configs",
+            JsonValue::object(runs.iter().map(|r| (r.label, config_json(r))).collect()),
+        ),
+        ("best_pass2_speedup", JsonValue::Number(best)),
+        ("parity", "ok".into()),
+    ]);
+    std::fs::write("BENCH_phase2.json", format!("{json}\n")).expect("write BENCH_phase2.json");
+    println!("\nwrote results/ablation_matching.txt and BENCH_phase2.json");
 }

@@ -4,13 +4,24 @@
 //! properties of our synthetic stand-ins, plus the measured density facts
 //! (average transaction length) that drive mining behaviour.
 //!
+//! The report is also written to `results/table1.txt`. The output is fully
+//! deterministic (seeded generators, no wall-clock), so CI regenerates it
+//! and fails on any diff — the committed file can never drift from the
+//! generators again.
+//!
 //! Usage: `cargo run -p yafim-bench --release --bin table1`
 
+use std::fmt::Write as _;
 use yafim_data::{stats, PaperDataset};
 
 fn main() {
-    println!("TABLE I. PROPERTIES OF DATASETS FOR OUR EXPERIMENTS");
-    println!(
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "TABLE I. PROPERTIES OF DATASETS FOR OUR EXPERIMENTS"
+    );
+    let _ = writeln!(
+        report,
         "{:<12} {:>12} {:>14} {:>14} {:>16} {:>10}",
         "Dataset", "Items(paper)", "Items(ours)", "Tx(paper)", "Tx(ours)", "avg len"
     );
@@ -18,10 +29,16 @@ fn main() {
         let p = ds.profile();
         let tx = ds.generate();
         let s = stats(&tx);
-        println!(
+        let _ = writeln!(
+            report,
             "{:<12} {:>12} {:>14} {:>14} {:>16} {:>10.1}",
             p.name, p.items, s.distinct_items, p.transactions, s.transactions, s.avg_len
         );
     }
-    println!("\n(Stand-in generators; see DESIGN.md §2 for the substitution rationale.)");
+    let _ = writeln!(
+        report,
+        "\n(Stand-in generators; see DESIGN.md §2 for the substitution rationale.)"
+    );
+    print!("{report}");
+    std::fs::write("results/table1.txt", &report).expect("write results/table1.txt");
 }

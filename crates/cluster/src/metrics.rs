@@ -47,6 +47,10 @@ pub enum EventKind {
     HdfsWrite,
     /// Driver-side computation (candidate generation etc.).
     Driver,
+    /// Dataset projection / trimming work (dense re-encoding dictionary
+    /// builds, cross-pass trim planning) — attributed separately from
+    /// generic driver work so reports can show what the re-encoding costs.
+    Projection,
     /// Anything else.
     Other,
 }

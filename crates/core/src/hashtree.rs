@@ -261,6 +261,41 @@ impl HashTree {
     }
 }
 
+impl crate::candidates::CandidateStore for HashTree {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn candidates(&self) -> &[Itemset] {
+        &self.candidates
+    }
+
+    fn into_candidates(self: Box<Self>) -> Vec<Itemset> {
+        self.candidates
+    }
+
+    fn for_each_match_dyn(
+        &self,
+        t: &[Item],
+        scratch: &mut MatchScratch,
+        f: &mut dyn FnMut(usize),
+    ) -> u64 {
+        self.for_each_match(t, scratch, f)
+    }
+
+    fn store_bytes(&self) -> u64 {
+        self.byte_size()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash tree"
+    }
+}
+
 impl ByteSize for HashTree {
     fn byte_size(&self) -> u64 {
         let cands: u64 = self.candidates.iter().map(ByteSize::byte_size).sum();

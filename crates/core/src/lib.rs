@@ -25,6 +25,7 @@
 
 pub mod candidates;
 pub mod eclat;
+pub mod encode;
 pub mod fpgrowth;
 pub mod hashtree;
 pub mod mrapriori;
@@ -33,11 +34,13 @@ pub mod rules;
 pub mod sequential;
 pub mod son;
 pub mod summarize;
+pub mod trie;
 pub mod types;
 pub mod yafim;
 
-pub use candidates::{ap_gen, GenWork};
+pub use candidates::{ap_gen, CandidateStore, GenWork};
 pub use eclat::eclat;
+pub use encode::{DenseEncoder, TrimMask};
 pub use fpgrowth::fp_growth;
 pub use hashtree::{HashTree, MatchScratch};
 pub use mrapriori::{MrApriori, MrAprioriConfig, MrMatching, MrVariant};
@@ -46,5 +49,6 @@ pub use rules::{generate_rules, Rule, RuleConfig};
 pub use sequential::{apriori, brute_force, SequentialConfig};
 pub use son::{Son, SonConfig};
 pub use summarize::{closed_itemsets, maximal_itemsets};
+pub use trie::CandidateTrie;
 pub use types::{parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support};
-pub use yafim::{mine_in_memory, Yafim, YafimConfig};
+pub use yafim::{mine_in_memory, Matcher, Phase2Config, Yafim, YafimConfig};

@@ -252,6 +252,12 @@ impl MiningResult {
 /// ran on the JVM.
 pub const JVM_TREE_VISIT_UNITS: u64 = 8;
 
+/// Virtual CPU units per pair touch in the specialized triangular pass-2
+/// counter: one add plus one array increment over a flat primitive array —
+/// far cheaper than a tree visit, but still above the raw cost-model unit
+/// (bounds check + memory traffic on the JVM).
+pub const JVM_PAIR_COUNT_UNITS: u64 = 2;
+
 /// Timing and size facts about one Apriori pass — one point of the paper's
 /// Fig. 3 / Fig. 6 per-iteration series.
 #[derive(Clone, Debug, PartialEq)]

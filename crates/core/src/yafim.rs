@@ -6,7 +6,7 @@
 //! `MinSup`, to obtain the frequent items `L1`.
 //!
 //! **Phase II** (Algorithm 3, Fig. 2): iteratively, on the driver, generate
-//! candidates `C_{k+1} = ap_gen(L_k)`, build a hash tree over them and
+//! candidates `C_{k+1} = ap_gen(L_k)`, build a candidate store over them and
 //! *broadcast* it (§IV.C); then over the cached transactions RDD count each
 //! candidate's occurrences
 //! (`flatMap(subset(C_k, t)) → map(c → (c, 1)) → reduceByKey(+)`) and keep
@@ -15,12 +15,90 @@
 //! The transactions RDD is read from HDFS exactly once and reused from
 //! cluster memory in every later pass — the key memory-utilization property
 //! of §IV.B that the MapReduce baseline lacks.
+//!
+//! # The Phase-II hot path ([`Phase2Config`])
+//!
+//! All iterative cost lives in subset-matching every cached transaction
+//! against `C_k`. On top of the paper-faithful engine (hash tree, raw
+//! alphabet, untrimmed RDD) this module implements three independently
+//! switchable optimizations, all invisible to results:
+//!
+//! * **dense projection** — after pass 1, re-encode the cached transactions
+//!   once ([`DenseEncoder`]): drop infrequent items, remap survivors to
+//!   dense ranks `0..|L1|`, drop now-short transactions, and re-cache. The
+//!   projection is a narrow `map → filter` that fuses into pass 2's
+//!   pipeline, and the re-cache keeps §IV.B's memory property.
+//! * **specialized pass 2** — `|C_2| = |L1|·(|L1|−1)/2` makes pass 2 the
+//!   dominant iteration; over dense ranks it needs no candidate store at
+//!   all, just a flat triangular count array indexed by item pair.
+//! * **trie matching + cross-pass trimming** — for `k ≥ 3`, an
+//!   arena-allocated prefix trie ([`CandidateTrie`]) replaces the hash
+//!   tree, and after each `L_k` a DHP-style trim drops items that occur in
+//!   no frequent `k`-itemset plus transactions too short to hold a
+//!   `(k+1)`-candidate, re-caching the shrunken RDD (and unpersisting the
+//!   one it replaces) so later passes stream monotonically less data.
 
-use crate::candidates::ap_gen;
+use crate::candidates::{ap_gen, CandidateStore};
+use crate::encode::{tri_index, tri_len, tri_pair, DenseEncoder, TrimMask, TRIANGLE_MAX_CELLS};
 use crate::hashtree::{HashTree, MatchScratch};
-use crate::types::{parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support};
+use crate::trie::CandidateTrie;
+use crate::types::{
+    parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support,
+    JVM_PAIR_COUNT_UNITS, JVM_TREE_VISIT_UNITS,
+};
+use std::sync::Arc;
 use yafim_cluster::{DfsError, EventKind, SimDuration};
 use yafim_rdd::{Context, Rdd};
+
+/// Which candidate store Phase II broadcasts for passes `k ≥ 3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Matcher {
+    /// The paper's candidate hash tree (Agrawal & Srikant) — the
+    /// paper-faithful reference.
+    HashTree,
+    /// Contiguous-arena prefix trie: merge-based descent, unique paths.
+    Trie,
+}
+
+/// Phase-II hot-path switches. Every combination returns byte-identical
+/// mining results; only the cost of getting there moves.
+#[derive(Clone, Debug)]
+pub struct Phase2Config {
+    /// Re-encode the cached transactions to dense ranks after pass 1.
+    pub project: bool,
+    /// Count pass 2 with a triangular pair array instead of a candidate
+    /// store. Requires `project` (dense ranks bound the triangle); falls
+    /// back to the store when `|L1|` would need more than
+    /// [`TRIANGLE_MAX_CELLS`] cells.
+    pub triangle_pass2: bool,
+    /// Candidate store for passes `k ≥ 3`.
+    pub matcher: Matcher,
+    /// DHP-style cross-pass trimming of the cached RDD. Requires `project`.
+    pub trim: bool,
+}
+
+impl Phase2Config {
+    /// The paper's Phase II exactly: hash tree, raw alphabet, untrimmed RDD.
+    pub fn paper() -> Self {
+        Phase2Config {
+            project: false,
+            triangle_pass2: false,
+            matcher: Matcher::HashTree,
+            trim: false,
+        }
+    }
+
+    /// Everything on: dense projection, triangular pass 2, trie matching,
+    /// cross-pass trimming.
+    pub fn optimized() -> Self {
+        Phase2Config {
+            project: true,
+            triangle_pass2: true,
+            matcher: Matcher::Trie,
+            trim: true,
+        }
+    }
+}
 
 /// Options for a YAFIM run.
 #[derive(Clone, Debug)]
@@ -32,20 +110,35 @@ pub struct YafimConfig {
     pub min_partitions: usize,
     /// Stop after this many passes (0 = run to fixpoint).
     pub max_passes: usize,
+    /// Phase-II hot-path configuration.
+    pub phase2: Phase2Config,
 }
 
 impl YafimConfig {
-    /// Defaults: run to fixpoint, default parallelism.
+    /// Defaults: run to fixpoint, default parallelism, the paper's Phase II.
     pub fn new(min_support: Support) -> Self {
         YafimConfig {
             min_support,
             min_partitions: 0,
             max_passes: 0,
+            phase2: Phase2Config::paper(),
+        }
+    }
+
+    /// Like [`YafimConfig::new`] but with every Phase-II optimization on.
+    pub fn optimized(min_support: Support) -> Self {
+        YafimConfig {
+            phase2: Phase2Config::optimized(),
+            ..YafimConfig::new(min_support)
         }
     }
 }
 
 pub use crate::types::PassTiming as YafimPassTiming;
+
+/// Outcome of one counting pass: `(|C_k|, surviving count, L_k in work
+/// space)`; `None` when no candidates could be generated.
+type PassOutcome = Option<(usize, usize, Vec<(Itemset, u64)>)>;
 
 /// The YAFIM miner bound to one driver [`Context`].
 pub struct Yafim {
@@ -65,6 +158,7 @@ impl Yafim {
         let ctx = &self.ctx;
         let metrics = ctx.metrics().clone();
         let cost = ctx.cluster().cost().clone();
+        let p2 = self.config.phase2.clone();
         let partitions = if self.config.min_partitions == 0 {
             ctx.config().default_parallelism
         } else {
@@ -118,8 +212,52 @@ impl Yafim {
             });
         }
 
-        // ---- Phase II: iterate L_k → C_{k+1} → L_{k+1} ----
-        let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1];
+        // ---- Projection: re-encode the cached RDD to dense ranks ----
+        //
+        // `work` is the transactions RDD every counting job runs on, in
+        // "work space": dense ranks when projecting, the raw alphabet
+        // otherwise. `replaced` holds the RDD the current `work` supersedes;
+        // it stays cached until the job that materializes (and re-caches)
+        // its successor has run, then is unpersisted — the §IV.B memory
+        // property with correct cache accounting for replaced RDDs.
+        let mut replaced: Option<Rdd<Vec<Item>>> = None;
+        let (work, encoder) = if p2.project {
+            let encoder = Arc::new(DenseEncoder::new(
+                l1.iter().map(|(s, _)| s.items()[0]).collect(),
+            ));
+            metrics.advance_with_event(
+                cost.cpu(encoder.len() as u64),
+                EventKind::Projection,
+                "build dense dictionary",
+            );
+            let bc_enc = ctx.broadcast(DenseEncoder::clone(&encoder));
+            let enc = bc_enc.value();
+            // A narrow map → filter chain: it fuses into the next pass's
+            // pipeline and materializes only at its own cache insert.
+            let dense = transactions
+                .map(move |t| enc.encode(&t))
+                .filter(|t| t.len() >= 2)
+                .cache();
+            replaced = Some(transactions.clone());
+            (dense, Some(encoder))
+        } else {
+            (transactions.clone(), None)
+        };
+        let mut work = work;
+
+        // Work-space L1: ranks 0..n when projecting (l1 is item-sorted, so
+        // rank order equals item order and counts carry over positionally).
+        let l1_work: Vec<(Itemset, u64)> = match &encoder {
+            Some(_) => l1
+                .iter()
+                .enumerate()
+                .map(|(r, &(_, c))| (Itemset::single(r as u32), c))
+                .collect(),
+            None => l1,
+        };
+
+        // ---- Phase II: iterate L_k → C_{k+1} → L_{k+1}, in work space ----
+        let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1_work];
         let mut pass = 2usize;
         loop {
             if self.config.max_passes != 0 && pass > self.config.max_passes {
@@ -127,68 +265,37 @@ impl Yafim {
             }
             let pass_start = metrics.now();
 
-            // Driver: candidate generation (join + prune), charged as
-            // driver CPU.
-            let prev: Vec<Itemset> = levels
-                .last()
-                .expect("levels never empty here")
-                .iter()
-                .map(|(s, _)| s.clone())
-                .collect();
-            let (candidates, gen_work) = ap_gen(&prev);
-            metrics.advance_with_event(
-                cost.cpu(gen_work.units() + candidates.len() as u64),
-                EventKind::Driver,
-                format!("ap_gen pass {pass}"),
-            );
-            if candidates.is_empty() {
-                break;
+            let n_dense = encoder.as_ref().map_or(0, |e| e.len());
+            let use_triangle = pass == 2
+                && p2.project
+                && p2.triangle_pass2
+                && tri_len(n_dense) <= TRIANGLE_MAX_CELLS;
+
+            let (n_candidates, counted, mut lk) = if use_triangle {
+                match self.pass2_triangle(&work, n_dense, min_sup) {
+                    Some(v) => v,
+                    None => break, // |L1| < 2: no pairs to count
+                }
+            } else {
+                let prev: Vec<Itemset> = levels
+                    .last()
+                    .expect("levels never empty here")
+                    .iter()
+                    .map(|(s, _)| s.clone())
+                    .collect();
+                match self.pass_with_store(&work, &prev, &p2, pass, min_sup) {
+                    Some(v) => v,
+                    None => break, // ap_gen produced no candidates
+                }
+            };
+
+            // The job above materialized (and cached) `work`; whatever it
+            // replaced can now release its cluster memory.
+            if let Some(old) = replaced.take() {
+                old.unpersist();
             }
-            let n_candidates = candidates.len();
 
-            // Driver: build the hash tree and broadcast it to the workers.
-            let tree = HashTree::build(candidates);
-            metrics.advance_with_event(
-                cost.cpu(2 * n_candidates as u64),
-                EventKind::Driver,
-                format!("build hash tree pass {pass}"),
-            );
-            let bc = ctx.broadcast(tree);
-            let tree_for_tasks = bc.value();
-            let tree_bytes = bc.bytes();
-
-            // Workers: count candidate occurrences over the cached
-            // transactions. Matches are pre-aggregated per partition (as
-            // Spark's reduceByKey map-side combine would), then shuffled.
-            let counted: Vec<(u32, u64)> = transactions
-                .map_partitions(move |txs, tc| {
-                    // Each task reads the broadcast tree (already paid for
-                    // once, virtually, at broadcast time).
-                    tc.note_broadcast_read(tree_bytes);
-                    let mut counts = vec![0u64; n_candidates];
-                    let mut scratch = MatchScratch::default();
-                    let mut visits = 0u64;
-                    for t in txs {
-                        visits += tree_for_tasks.for_each_match(t, &mut scratch, |idx| {
-                            counts[idx] += 1;
-                        });
-                    }
-                    let matches: u64 = counts.iter().sum();
-                    // Tree traversal plus one emission per match — the
-                    // flatMap cost of Algorithm 3, lines 4-9.
-                    tc.add_cpu(visits * crate::types::JVM_TREE_VISIT_UNITS + matches);
-                    counts
-                        .into_iter()
-                        .enumerate()
-                        .filter(|&(_, c)| c > 0)
-                        .map(|(i, c)| (i as u32, c))
-                        .collect()
-                })
-                .reduce_by_key(|a, b| a + b)
-                .filter(move |&(_, c)| c >= min_sup)
-                .collect();
-
-            if counted.is_empty() {
+            if counted == 0 {
                 metrics.record_span(EventKind::Iteration, format!("pass {pass}"), pass_start);
                 passes.push(PassTiming {
                     pass,
@@ -198,11 +305,6 @@ impl Yafim {
                 });
                 break;
             }
-
-            let mut lk: Vec<(Itemset, u64)> = counted
-                .into_iter()
-                .map(|(idx, c)| (bc.candidates()[idx as usize].clone(), c))
-                .collect();
             lk.sort_by(|a, b| a.0.cmp(&b.0));
 
             metrics.record_span(EventKind::Iteration, format!("pass {pass}"), pass_start);
@@ -212,16 +314,245 @@ impl Yafim {
                 candidates: n_candidates,
                 frequent: lk.len(),
             });
+
+            // ---- Cross-pass trimming (DHP-style) ----
+            //
+            // Any item in no frequent k-itemset is in no frequent
+            // (k+1)-itemset (monotonicity), and a transaction with fewer
+            // than k+1 surviving items holds no (k+1)-candidate — so both
+            // can be dropped from the cached RDD without changing a single
+            // later count. The trimmed RDD re-caches during the next pass's
+            // job; its predecessor is unpersisted right after.
+            if p2.trim && p2.project {
+                let mask = TrimMask::from_frequent(n_dense, &lk);
+                metrics.advance_with_event(
+                    cost.cpu((lk.len() * (pass)) as u64 + n_dense as u64),
+                    EventKind::Projection,
+                    format!(
+                        "trim plan pass {pass} ({} of {} items live)",
+                        mask.alive(),
+                        n_dense
+                    ),
+                );
+                let bc_mask = ctx.broadcast(mask);
+                let keep = bc_mask.value();
+                let min_len = pass + 1;
+                let trimmed = work
+                    .map(move |mut t| {
+                        t.retain(|&r| keep.keep[r as usize]);
+                        t
+                    })
+                    .filter(move |t| t.len() >= min_len)
+                    .cache();
+                replaced = Some(work);
+                work = trimmed;
+            }
+
             levels.push(lk);
             pass += 1;
         }
 
+        // Unpersist every RDD still holding cluster memory (the final work
+        // RDD, plus a replaced one whose successor never ran a job).
+        if let Some(old) = replaced.take() {
+            old.unpersist();
+        }
+        work.unpersist();
         transactions.unpersist();
+
+        // Decode rank-space results back to the original alphabet; the
+        // monotone encoding preserves itemset order, so per-level sort
+        // order survives the decode.
+        let levels = match &encoder {
+            Some(enc) => levels
+                .into_iter()
+                .map(|level| {
+                    level
+                        .into_iter()
+                        .map(|(s, c)| (enc.decode_itemset(&s), c))
+                        .collect()
+                })
+                .collect(),
+            None => levels,
+        };
+
         Ok(MinerRun {
             result: MiningResult::from_levels(levels),
             total_seconds: metrics.now().since(run_start).as_secs(),
             passes,
         })
+    }
+
+    /// Specialized pass 2 over dense ranks: a flat triangular count array
+    /// indexed by item pair — no candidate store, no broadcast, no
+    /// per-candidate allocation. Triangle cell `tri_index(a, b)` coincides
+    /// with `ap_gen(L1)`'s candidate index for `{a, b}`, so counts (and the
+    /// reported candidate total) are identical to the store path.
+    ///
+    /// Returns `(|C2|, surviving count, L2 in rank space)`, or `None` when
+    /// there are no pairs to count.
+    fn pass2_triangle(&self, work: &Rdd<Vec<Item>>, n_dense: usize, min_sup: u64) -> PassOutcome {
+        let metrics = self.ctx.metrics().clone();
+        let cost = self.ctx.cluster().cost().clone();
+        let n_candidates = tri_len(n_dense);
+        if n_candidates == 0 {
+            return None;
+        }
+        metrics.advance_with_event(
+            cost.cpu(n_dense as u64),
+            EventKind::Driver,
+            format!("pass 2 triangle setup ({n_candidates} pairs)"),
+        );
+
+        let counted: Vec<(u32, u64)> = work
+            .map_partitions(move |txs, tc| {
+                let mut counts = vec![0u64; n_candidates];
+                let mut pairs = 0u64;
+                for t in txs {
+                    for i in 0..t.len().saturating_sub(1) {
+                        let base = tri_index(n_dense, t[i] as usize, t[i] as usize + 1);
+                        for &b in &t[i + 1..] {
+                            // Row-relative addressing keeps the inner loop a
+                            // single add + increment.
+                            counts[base + (b - t[i]) as usize - 1] += 1;
+                        }
+                    }
+                    pairs += (t.len() * t.len().saturating_sub(1) / 2) as u64;
+                }
+                // One cheap array touch per pair, plus one emission per
+                // nonzero cell — no tree descent, no subset checks.
+                tc.add_cpu(pairs * JVM_PAIR_COUNT_UNITS);
+                let mut out = Vec::new();
+                for (i, &c) in counts.iter().enumerate() {
+                    if c > 0 {
+                        out.push((i as u32, c));
+                    }
+                }
+                tc.add_cpu(out.len() as u64);
+                out
+            })
+            .reduce_by_key(|a, b| a + b)
+            .filter(move |&(_, c)| c >= min_sup)
+            .collect();
+
+        let mut counted = counted;
+        counted.sort_unstable_by_key(|&(i, _)| i);
+        let lk: Vec<(Itemset, u64)> = counted
+            .iter()
+            .map(|&(idx, c)| {
+                let (a, b) = tri_pair(n_dense, idx as usize);
+                (Itemset::from_sorted(vec![a as u32, b as u32]), c)
+            })
+            .collect();
+        Some((n_candidates, lk.len(), lk))
+    }
+
+    /// One Phase-II pass through a broadcast [`CandidateStore`] (hash tree
+    /// or trie, per config) — the generic path for `k ≥ 3`, and for pass 2
+    /// when the triangle is disabled or would not fit.
+    ///
+    /// Returns `(|C_k|, surviving count, L_k in work space)`, or `None`
+    /// when candidate generation comes up empty.
+    fn pass_with_store(
+        &self,
+        work: &Rdd<Vec<Item>>,
+        prev: &[Itemset],
+        p2: &Phase2Config,
+        pass: usize,
+        min_sup: u64,
+    ) -> PassOutcome {
+        let ctx = &self.ctx;
+        let metrics = ctx.metrics().clone();
+        let cost = ctx.cluster().cost().clone();
+
+        // Driver: candidate generation (join + prune), charged as driver
+        // CPU.
+        let (candidates, gen_work) = ap_gen(prev);
+        metrics.advance_with_event(
+            cost.cpu(gen_work.units() + candidates.len() as u64),
+            EventKind::Driver,
+            format!("ap_gen pass {pass}"),
+        );
+        if candidates.is_empty() {
+            return None;
+        }
+        let n_candidates = candidates.len();
+
+        // Driver: build the candidate store and broadcast it to the workers.
+        let store: Box<dyn CandidateStore> = match p2.matcher {
+            Matcher::HashTree => Box::new(HashTree::build(candidates)),
+            Matcher::Trie => Box::new(CandidateTrie::build(candidates)),
+        };
+        metrics.advance_with_event(
+            cost.cpu(2 * n_candidates as u64),
+            EventKind::Driver,
+            format!("build {} pass {pass}", store.name()),
+        );
+        let bc = ctx.broadcast(store);
+        let store_for_tasks = bc.value();
+        let store_bytes = bc.bytes();
+
+        // Workers: count candidate occurrences over the cached
+        // transactions. Matches are pre-aggregated per partition (as
+        // Spark's reduceByKey map-side combine would), then shuffled.
+        let counted: Vec<(u32, u64)> = work
+            .map_partitions(move |txs, tc| {
+                // Each task reads the broadcast store (already paid for
+                // once, virtually, at broadcast time).
+                tc.note_broadcast_read(store_bytes);
+                let mut counts = vec![0u64; n_candidates];
+                let mut scratch = MatchScratch::default();
+                let mut visits = 0u64;
+                for t in txs {
+                    visits += store_for_tasks.for_each_match_dyn(t, &mut scratch, &mut |idx| {
+                        counts[idx] += 1;
+                    });
+                }
+                let matches: u64 = counts.iter().sum();
+                // Store traversal plus one emission per match — the
+                // flatMap cost of Algorithm 3, lines 4-9.
+                tc.add_cpu(visits * JVM_TREE_VISIT_UNITS + matches);
+                counts
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c > 0)
+                    .map(|(i, c)| (i as u32, c))
+                    .collect()
+            })
+            .reduce_by_key(|a, b| a + b)
+            .filter(move |&(_, c)| c >= min_sup)
+            .collect();
+
+        // Resolve surviving indices against the store exactly once per
+        // pass. The tasks have dropped their broadcast handles by now, so
+        // the driver usually holds the last reference and can drain the
+        // candidate list by value — no per-frequent-itemset clone.
+        let mut counted = counted;
+        counted.sort_unstable_by_key(|&(i, _)| i);
+        let lk: Vec<(Itemset, u64)> = match Arc::try_unwrap(bc.into_value()) {
+            Ok(store) => {
+                let mut wanted = counted.iter().copied();
+                let mut next = wanted.next();
+                let mut out = Vec::with_capacity(counted.len());
+                for (i, cand) in store.into_candidates().into_iter().enumerate() {
+                    match next {
+                        Some((idx, c)) if idx as usize == i => {
+                            out.push((cand, c));
+                            next = wanted.next();
+                        }
+                        _ => {}
+                    }
+                }
+                out
+            }
+            // Something (e.g. an in-flight recompute) still shares the
+            // store; fall back to indexing the shared slice.
+            Err(store) => counted
+                .iter()
+                .map(|&(idx, c)| (store.candidates()[idx as usize].clone(), c))
+                .collect(),
+        };
+        Some((n_candidates, lk.len(), lk))
     }
 }
 
@@ -279,6 +610,40 @@ mod tests {
     }
 
     #[test]
+    fn optimized_phase2_matches_sequential_on_toy() {
+        let run = mine_in_memory(&ctx(), &toy(), YafimConfig::optimized(Support::Count(2)));
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq);
+        assert_eq!(run.result.level_sizes(), vec![4, 4, 1]);
+    }
+
+    #[test]
+    fn every_phase2_combination_agrees_on_toy() {
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        for project in [false, true] {
+            for triangle in [false, true] {
+                for matcher in [Matcher::HashTree, Matcher::Trie] {
+                    for trim in [false, true] {
+                        let mut cfg = YafimConfig::new(Support::Count(2));
+                        cfg.phase2 = Phase2Config {
+                            project,
+                            triangle_pass2: triangle,
+                            matcher,
+                            trim,
+                        };
+                        let run = mine_in_memory(&ctx(), &toy(), cfg);
+                        assert_eq!(
+                            run.result, seq,
+                            "project={project} triangle={triangle} \
+                             matcher={matcher:?} trim={trim}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pass_timings_recorded() {
         let run = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(2)));
         // Passes 1..=3 produce itemsets; pass 4 generates no candidates
@@ -287,6 +652,19 @@ mod tests {
         assert!(run.passes.iter().all(|p| p.seconds > 0.0));
         assert_eq!(run.passes[0].pass, 1);
         assert!(run.total_seconds >= run.passes.iter().map(|p| p.seconds).sum::<f64>());
+    }
+
+    #[test]
+    fn optimized_pass_metadata_matches_paper_engine() {
+        let paper = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(2)));
+        let opt = mine_in_memory(&ctx(), &toy(), YafimConfig::optimized(Support::Count(2)));
+        assert_eq!(paper.passes.len(), opt.passes.len());
+        for (p, o) in paper.passes.iter().zip(&opt.passes) {
+            assert_eq!(
+                (p.pass, p.candidates, p.frequent),
+                (o.pass, o.candidates, o.frequent)
+            );
+        }
     }
 
     #[test]
@@ -299,9 +677,18 @@ mod tests {
     #[test]
     fn max_passes_truncates() {
         let cfg = YafimConfig {
-            min_support: Support::Count(2),
-            min_partitions: 0,
             max_passes: 2,
+            ..YafimConfig::new(Support::Count(2))
+        };
+        let run = mine_in_memory(&ctx(), &toy(), cfg);
+        assert_eq!(run.result.max_len(), 2);
+    }
+
+    #[test]
+    fn max_passes_truncates_optimized() {
+        let cfg = YafimConfig {
+            max_passes: 2,
+            ..YafimConfig::optimized(Support::Count(2))
         };
         let run = mine_in_memory(&ctx(), &toy(), cfg);
         assert_eq!(run.result.max_len(), 2);
@@ -319,6 +706,31 @@ mod tests {
         let c = ctx();
         let miner = Yafim::new(c, YafimConfig::new(Support::Count(1)));
         assert!(miner.mine("no-such-file.dat").is_err());
+    }
+
+    #[test]
+    fn single_frequent_item_stops_cleanly_when_optimized() {
+        // |L1| = 1: the triangle has no cells and Phase II must exit
+        // without running a job (and without leaking cached partitions).
+        let tx = vec![vec![7], vec![7, 9], vec![7], vec![7]];
+        let c = ctx();
+        let run = mine_in_memory(&c, &tx, YafimConfig::optimized(Support::Count(3)));
+        assert_eq!(run.result.level_sizes(), vec![1]);
+        assert_eq!(
+            c.cache().stats().entries,
+            0,
+            "all cached partitions released"
+        );
+    }
+
+    #[test]
+    fn optimized_run_releases_all_cache_memory() {
+        let c = ctx();
+        let run = mine_in_memory(&c, &toy(), YafimConfig::optimized(Support::Count(2)));
+        assert!(run.result.total() > 0);
+        let stats = c.cache().stats();
+        assert_eq!(stats.entries, 0, "projection/trim replacements unpersisted");
+        assert_eq!(stats.used_bytes, 0);
     }
 
     #[test]
@@ -341,6 +753,30 @@ mod tests {
             last.seconds < run.passes[0].seconds * 2.0,
             "later passes must not blow up: {:?}",
             run.pass_seconds()
+        );
+    }
+
+    #[test]
+    fn optimized_virtual_time_not_slower_than_paper_engine() {
+        // On a pass-2-heavy workload the dense/triangle/trim path must pay
+        // off in virtual time too (the cost model sees fewer, cheaper
+        // touches).
+        let tx: Vec<Vec<Item>> = (0..800)
+            .map(|i| {
+                let mut t: Vec<Item> = (0..6).map(|j| ((i * 7 + j * 13) % 40) as u32).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let paper = mine_in_memory(&ctx(), &tx, YafimConfig::new(Support::Fraction(0.02)));
+        let opt = mine_in_memory(&ctx(), &tx, YafimConfig::optimized(Support::Fraction(0.02)));
+        assert_eq!(paper.result, opt.result);
+        assert!(
+            opt.total_seconds <= paper.total_seconds,
+            "optimized {} s vs paper {} s",
+            opt.total_seconds,
+            paper.total_seconds
         );
     }
 }

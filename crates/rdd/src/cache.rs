@@ -62,6 +62,10 @@ pub struct CacheStats {
     pub used_bytes: u64,
     /// Bytes currently held on the disk tier across all nodes.
     pub disk_bytes: u64,
+    /// High-water mark of in-memory bytes across all nodes — what the
+    /// cluster actually had to provision for this workload (replaced RDDs
+    /// count until unpersisted).
+    pub peak_bytes: u64,
 }
 
 struct Entry {
@@ -90,6 +94,7 @@ struct Inner {
     disk_hits: u64,
     misses: u64,
     evictions: u64,
+    peak_bytes: u64,
 }
 
 /// Thread-safe cache of `(rdd id, partition) → Arc<Vec<T>>`.
@@ -119,6 +124,7 @@ impl CacheManager {
                 disk_hits: 0,
                 misses: 0,
                 evictions: 0,
+                peak_bytes: 0,
             }),
             capacity_per_node,
             nodes,
@@ -225,6 +231,8 @@ impl CacheManager {
         }
 
         g.used[node] += bytes;
+        let total: u64 = g.used.iter().sum();
+        g.peak_bytes = g.peak_bytes.max(total);
         g.entries.insert(
             (rdd, part),
             Entry {
@@ -316,6 +324,7 @@ impl CacheManager {
             disk_entries: g.disk.len(),
             used_bytes: g.used.iter().sum(),
             disk_bytes: g.disk_used,
+            peak_bytes: g.peak_bytes,
         }
     }
 }
@@ -431,6 +440,20 @@ mod tests {
         assert!(mem_put(&c, 1, 1, 1, 80));
         assert_eq!(c.stats().entries, 2);
         assert_eq!(c.stats().used_bytes, 160);
+    }
+
+    #[test]
+    fn peak_bytes_is_a_high_water_mark() {
+        let c = mgr(100);
+        assert!(mem_put(&c, 1, 0, 0, 40));
+        assert!(mem_put(&c, 2, 0, 1, 50));
+        assert_eq!(c.stats().peak_bytes, 90);
+        c.evict_rdd(1);
+        assert_eq!(c.stats().used_bytes, 50);
+        // The peak remembers the overlap even after eviction.
+        assert_eq!(c.stats().peak_bytes, 90);
+        assert!(mem_put(&c, 3, 0, 0, 10));
+        assert_eq!(c.stats().peak_bytes, 90);
     }
 
     #[test]

@@ -31,8 +31,8 @@ fn usage() -> ! {
         "usage:
   yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
-                     [--nodes N] [--cores C] [--rules MIN_CONF] [--top K] [--timeline]
-                     [--report] [--trace out.json]
+                     [--phase2 <paper|opt>] [--nodes N] [--cores C] [--rules MIN_CONF] [--top K]
+                     [--timeline] [--report] [--trace out.json]
   yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
     );
     exit(2)
@@ -123,11 +123,26 @@ fn cmd_generate() {
     );
 }
 
+/// `--phase2 <paper|opt>` — the Spark miner's Phase-II hot path: `paper`
+/// (default) is the paper-faithful hash-tree engine, `opt` enables dense
+/// re-encoding, the triangular pass-2 counter, trie matching and cross-pass
+/// trimming. Results are identical; only the virtual timings move.
+fn yafim_config(support: Support) -> YafimConfig {
+    match arg("--phase2").as_deref() {
+        None | Some("paper") => YafimConfig::new(support),
+        Some("opt") => YafimConfig::optimized(support),
+        Some(other) => {
+            eprintln!("unknown --phase2 mode: {other} (expected paper|opt)");
+            exit(2)
+        }
+    }
+}
+
 fn run_distributed(miner: &str, tx: &[Vec<u32>], support: Support) -> (MinerRun, SimCluster) {
     let c = cluster();
     c.hdfs().put_overwrite("input.dat", to_lines(tx));
     let run = match miner {
-        "spark" => Yafim::new(Context::new(c.clone()), YafimConfig::new(support))
+        "spark" => Yafim::new(Context::new(c.clone()), yafim_config(support))
             .mine("input.dat")
             .expect("input written"),
         "mapreduce" => MrApriori::new(c.clone(), MrAprioriConfig::new(support))
