@@ -50,6 +50,7 @@ fn phase2_configs() -> Vec<(&'static str, Phase2Config)> {
                 triangle_pass2: false,
                 matcher: Matcher::Trie,
                 trim: false,
+                checkpoint_interval: 0,
             },
         ),
         (
@@ -59,6 +60,7 @@ fn phase2_configs() -> Vec<(&'static str, Phase2Config)> {
                 triangle_pass2: true,
                 matcher: Matcher::HashTree,
                 trim: false,
+                checkpoint_interval: 0,
             },
         ),
         ("triangle + trie + trim", Phase2Config::optimized()),

@@ -2,7 +2,7 @@
 //! fault plans and verify that recovery changes *when* things finish, never
 //! *what* they compute.
 //!
-//! Two scenarios, both seeded and bit-for-bit reproducible:
+//! Three scenarios, all seeded and bit-for-bit reproducible:
 //!
 //! * **A — node loss mid-Phase-II**: a node dies halfway through pass 2,
 //!   taking its cached partitions and shuffle map outputs (YAFIM) or its
@@ -10,11 +10,24 @@
 //!   byte-identical to the fault-free run, paying only extra virtual time.
 //! * **B — flaky tasks + a straggler node**: background task crashes with
 //!   bounded retries, one node degraded 3×, speculative execution on.
+//! * **C — checkpoint cadence vs lineage replay**: the optimized Phase-II
+//!   trims its working RDD every pass, so lineage grows one level per pass
+//!   and a node lost after pass k forces a ~k-level replay back to HDFS.
+//!   Checkpointing every c passes caps the replay at the blocks written at
+//!   most c passes ago, no matter how late the loss lands. The harness
+//!   loses a node during *every* pass, with checkpointing off and on, and
+//!   asserts the measured max replay depth stays within the cadence-derived
+//!   bound (and that results never move).
+//!
+//! The report is also written to `results/chaos.txt` (skipped under
+//! `--smoke`, which runs the same scenarios at a reduced scale for CI).
+//! The output is fully deterministic: run it twice with the same seed and
+//! diff the output — identical bytes.
 //!
 //! Usage: `cargo run -p yafim-bench --release --bin chaos
-//!     [--seed N] [--scale X]`
-//!
-//! Run it twice with the same seed and diff the output: identical bytes.
+//!     [--seed N] [--scale X] [--smoke]`
+
+use std::fmt::Write as _;
 
 use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
 use yafim_cluster::{
@@ -25,17 +38,28 @@ use yafim_core::{MinerRun, MrApriori, MrAprioriConfig, Yafim, YafimConfig};
 use yafim_data::PaperDataset;
 use yafim_rdd::Context;
 
+/// Scenario C checkpoints the working RDD every this many Phase-II passes.
+const CKPT_INTERVAL: usize = 2;
+
 fn arg(name: &str) -> Option<String> {
     std::env::args().skip_while(|a| a != name).nth(1)
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let scale: f64 = arg("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = arg("--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.1 } else { 0.25 });
     let data = bench_dataset(PaperDataset::Mushroom, scale);
+    let mut out = String::new();
 
-    println!("== chaos: deterministic fault injection (seed {seed}) ==");
-    println!(
+    let _ = writeln!(
+        out,
+        "== chaos: deterministic fault injection (seed {seed}) =="
+    );
+    let _ = writeln!(
+        out,
         "dataset {} at scale {scale}, support {:?}\n",
         data.name, data.support
     );
@@ -45,8 +69,9 @@ fn main() {
         // instant halfway through pass 2 (mid-Phase-II) for the node loss.
         let (base_run, base_cluster) = mine(engine, &data, None);
         let t_loss = pass2_midpoint(&base_cluster).unwrap_or(base_run.total_seconds * 0.5);
-        println!("-- {engine} --");
-        println!(
+        let _ = writeln!(out, "-- {engine} --");
+        let _ = writeln!(
+            out,
             "fault-free: {} itemsets in {:.2} virtual s",
             base_run.result.total(),
             base_run.total_seconds
@@ -70,14 +95,15 @@ fn main() {
             "{engine}: node loss changed mining results"
         );
         let rec_a = cluster_a.metrics().snapshot().recovery;
-        println!(
+        let _ = writeln!(
+            out,
             "A {victim} lost at {t_loss:.2}s (mid pass 2): results identical, \
              {:.2} virtual s (+{:.2}s recovery)",
             run_a.total_seconds,
             run_a.total_seconds - base_run.total_seconds
         );
-        print_counters(&rec_a);
-        print_recovery_excerpt(&cluster_a);
+        print_counters(&mut out, &rec_a);
+        print_recovery_excerpt(&mut out, &cluster_a);
 
         // B: flaky tasks + one straggler node, speculation on.
         let plan_b = FaultPlan::seeded(seed)
@@ -91,16 +117,158 @@ fn main() {
             "{engine}: crashes/speculation changed mining results"
         );
         let rec_b = cluster_b.metrics().snapshot().recovery;
-        println!(
+        let _ = writeln!(
+            out,
             "B crashes 8% + node2 slowed 3x + speculation: results identical, \
              {:.2} virtual s (+{:.2}s recovery)",
             run_b.total_seconds,
             run_b.total_seconds - base_run.total_seconds
         );
-        print_counters(&rec_b);
-        println!();
+        print_counters(&mut out, &rec_b);
+        let _ = writeln!(out);
     }
-    println!("all fault scenarios returned byte-identical mining results");
+
+    scenario_c(&mut out, seed, &data);
+    let _ = writeln!(
+        out,
+        "all fault scenarios returned byte-identical mining results"
+    );
+
+    print!("{out}");
+    if !smoke {
+        std::fs::write("results/chaos.txt", &out).expect("write results/chaos.txt");
+    }
+}
+
+/// C: lose a node during every Phase-II pass, with checkpointing off vs
+/// every [`CKPT_INTERVAL`] passes, and compare the deepest lineage replay
+/// each loss forces.
+fn scenario_c(out: &mut String, seed: u64, data: &yafim_bench::BenchDataset) {
+    let _ = writeln!(
+        out,
+        "-- C: checkpoint cadence vs lineage replay (YAFIM optimized Phase-II) --"
+    );
+    // Each arm gets its own fault-free baseline: checkpointing shifts the
+    // virtual timeline, so "just after pass k" must be read off a clean run
+    // with the *same* checkpoint cadence for the loss to land where the
+    // lineage truncation has actually happened.
+    let (clean, clean_cluster) = mine_optimized(data, None);
+    let (clean_ckpt, clean_ckpt_cluster) = mine_optimized(
+        data,
+        Some(FaultPlan::seeded(seed).with_checkpoint_interval(CKPT_INTERVAL)),
+    );
+    assert_eq!(
+        clean.result, clean_ckpt.result,
+        "checkpointing alone changed mining results"
+    );
+    let victim = clean_cluster
+        .hdfs()
+        .get("input.dat")
+        .expect("loaded")
+        .blocks()[0]
+        .replicas[0];
+    // Per-arm loss instants: just inside each Phase-II pass's counting
+    // stage, i.e. after every bit of the previous pass's housekeeping
+    // (trim plan, checkpoint job) has finished. Pass 1 is Phase-I — no
+    // cached Phase-II state to lose yet — so rows start at pass 2.
+    let starts_off = pass_starts(&clean_cluster);
+    let starts_on = pass_starts(&clean_ckpt_cluster);
+    assert_eq!(starts_off.len(), starts_on.len(), "pass counts must agree");
+    let _ = writeln!(
+        out,
+        "{} passes; {victim} lost during each pass, checkpoint off vs every {CKPT_INTERVAL} passes",
+        starts_off.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>11} | {:>12} {:>9} | {:>12} {:>9} {:>7} {:>6}",
+        "loss during", "off: replay", "extra(s)", "on: replay", "extra(s)", "writes", "reads"
+    );
+
+    let mut depths_off = Vec::new();
+    let mut depths_on = Vec::new();
+    for (k, (&off_at, &on_at)) in starts_off.iter().zip(&starts_on).enumerate().skip(1) {
+        let pass = k + 1;
+        let mut cells = Vec::new();
+        for (interval, start, base_secs) in [
+            (0usize, off_at, clean.total_seconds),
+            (CKPT_INTERVAL, on_at, clean_ckpt.total_seconds),
+        ] {
+            let plan = FaultPlan::seeded(seed ^ pass as u64)
+                .lose_node_at(
+                    victim,
+                    SimInstant::EPOCH + SimDuration::from_secs(start + 1e-3),
+                )
+                .with_checkpoint_interval(interval);
+            let (run, cluster) = mine_optimized(data, Some(plan));
+            assert_eq!(
+                clean.result, run.result,
+                "loss during pass {pass} (ckpt interval {interval}) changed results"
+            );
+            let rec = cluster.metrics().snapshot().recovery;
+            if interval == 0 {
+                assert_eq!(rec.checkpoint_writes, 0, "interval 0 must never checkpoint");
+                depths_off.push(rec.max_replay_depth);
+            } else {
+                depths_on.push(rec.max_replay_depth);
+            }
+            cells.push((run.total_seconds - base_secs, rec));
+        }
+        let (extra_off, ref rec_off) = cells[0];
+        let (extra_on, ref rec_on) = cells[1];
+        let _ = writeln!(
+            out,
+            "{:>8} {:>2} | {:>12} {:>9.2} | {:>12} {:>9.2} {:>7} {:>6}",
+            "pass",
+            pass,
+            rec_off.max_replay_depth,
+            extra_off,
+            rec_on.max_replay_depth,
+            extra_on,
+            rec_on.checkpoint_writes,
+            rec_on.checkpoint_reads
+        );
+    }
+
+    // The cadence bound: the first checkpoint is written at the end of
+    // pass c+1, and from then on the working RDD's lineage is at most a
+    // checkpoint reader (1 level) plus c-1 trims of 2 levels each (map +
+    // filter) — independent of how late the loss lands. Without
+    // checkpointing, depth keeps growing with the loss pass.
+    let bound = (2 * CKPT_INTERVAL - 1) as u64;
+    for (i, &d) in depths_on.iter().enumerate() {
+        let pass = i + 2;
+        assert!(
+            d <= bound.max(depths_off[i]),
+            "loss during pass {pass}: checkpointing must never deepen replay \
+             ({d} > off-arm {})",
+            depths_off[i]
+        );
+        if pass >= CKPT_INTERVAL + 2 {
+            assert!(
+                d <= bound,
+                "loss during pass {pass}: replay depth {d} exceeds the cadence \
+                 bound {bound} (checkpoint + {} trims)",
+                CKPT_INTERVAL - 1
+            );
+        }
+    }
+    if depths_off.len() > CKPT_INTERVAL + 1 {
+        assert!(
+            depths_off.last() > depths_on.last(),
+            "late loss must replay deeper without checkpoints \
+             (off {:?} vs on {:?})",
+            depths_off.last(),
+            depths_on.last()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "replay depth stays <= {bound} once the first checkpoint lands (pass {}); \
+         grows to {} without checkpointing\n",
+        CKPT_INTERVAL + 2,
+        depths_off.iter().max().expect("nonempty")
+    );
 }
 
 /// Run one engine over the dataset, optionally under a fault plan.
@@ -128,6 +296,26 @@ fn mine(
     (run, cluster)
 }
 
+/// Run YAFIM with the optimized Phase-II (whose per-pass trimming grows the
+/// working RDD's lineage — the interesting case for checkpointing).
+fn mine_optimized(
+    data: &yafim_bench::BenchDataset,
+    plan: Option<FaultPlan>,
+) -> (MinerRun, SimCluster) {
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    if let Some(p) = plan {
+        cluster.faults().set_plan(p);
+    }
+    let run = Yafim::new(
+        Context::new(cluster.clone()),
+        YafimConfig::optimized(data.support),
+    )
+    .mine("input.dat")
+    .expect("below-budget plan must not abort");
+    (run, cluster)
+}
+
 /// Virtual instant (seconds) halfway through the `pass 2` iteration span.
 fn pass2_midpoint(cluster: &SimCluster) -> Option<f64> {
     cluster
@@ -138,8 +326,21 @@ fn pass2_midpoint(cluster: &SimCluster) -> Option<f64> {
         .map(|e| e.start.since(SimInstant::EPOCH).as_secs() + e.duration.as_secs() / 2.0)
 }
 
-fn print_counters(r: &RecoveryCounters) {
-    println!(
+/// Virtual start instant (seconds) of every pass's counting stage, in pass
+/// order (pass 1 is Phase-I).
+fn pass_starts(cluster: &SimCluster) -> Vec<f64> {
+    cluster
+        .metrics()
+        .events_of(EventKind::Iteration)
+        .iter()
+        .filter(|e| e.label.starts_with("pass "))
+        .map(|e| e.start.since(SimInstant::EPOCH).as_secs())
+        .collect()
+}
+
+fn print_counters(out: &mut String, r: &RecoveryCounters) {
+    let _ = writeln!(
+        out,
         "   recovery: {} task failures, {} retries, {} speculative ({} won), \
          {} nodes lost, {} map outputs refetched, {} partitions recomputed",
         r.task_failures,
@@ -154,11 +355,11 @@ fn print_counters(r: &RecoveryCounters) {
 
 /// Print the stage-report rows that show recovery work (resubmissions and
 /// nonzero recovery columns) plus the report's recovery totals line.
-fn print_recovery_excerpt(cluster: &SimCluster) {
+fn print_recovery_excerpt(out: &mut String, cluster: &SimCluster) {
     let report = full_report(cluster.metrics());
     for line in report.lines() {
         if line.contains("resubmit") || line.contains("recovery:") || has_recovery_cell(line) {
-            println!("   | {}", line.trim_end());
+            let _ = writeln!(out, "   | {}", line.trim_end());
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::costmodel::CostModel;
 use crate::spec::{ClusterSpec, NodeId};
 use crate::sync::RwLock;
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -166,13 +167,36 @@ impl std::fmt::Debug for DfsFile {
     }
 }
 
+/// One checkpointed RDD partition: the materialized records (type-erased),
+/// their serialized size, and the nodes holding a replica.
+#[derive(Clone)]
+pub struct CheckpointBlock {
+    /// Type-erased `Arc<Vec<T>>` with the partition's records.
+    pub data: Arc<dyn Any + Send + Sync>,
+    /// Serialized byte size charged for writes and reads of this block.
+    pub bytes: u64,
+    /// Nodes holding a replica; the first is the primary (the node the
+    /// checkpointing task ran on).
+    pub replicas: Vec<NodeId>,
+}
+
+impl std::fmt::Debug for CheckpointBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointBlock")
+            .field("bytes", &self.bytes)
+            .field("replicas", &self.replicas)
+            .finish()
+    }
+}
+
 /// The simulated distributed file system of one cluster.
 pub struct SimHdfs {
     spec: ClusterSpec,
-    #[allow(dead_code)] // kept for future contention modelling
     cost: CostModel,
     block_size: RwLock<u64>,
     files: RwLock<BTreeMap<String, DfsFile>>,
+    /// Checkpointed RDD partitions, keyed by (checkpoint RDD id, partition).
+    checkpoints: RwLock<BTreeMap<(u64, usize), CheckpointBlock>>,
 }
 
 impl SimHdfs {
@@ -183,7 +207,74 @@ impl SimHdfs {
             cost,
             block_size: RwLock::new(DEFAULT_BLOCK_SIZE),
             files: RwLock::new(BTreeMap::new()),
+            checkpoints: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// Replication factor applied to checkpoint blocks (and file blocks),
+    /// clamped to the cluster size.
+    pub fn replication(&self) -> u32 {
+        self.cost.hdfs_replication.min(self.spec.nodes).max(1)
+    }
+
+    /// Store one checkpointed partition with replication. The primary
+    /// replica lives on `primary` (the node that materialized the
+    /// partition); the remaining replicas are placed deterministically on
+    /// the following nodes, exactly like file blocks. Returns the replica
+    /// set.
+    pub fn checkpoint_put(
+        &self,
+        owner: u64,
+        partition: usize,
+        data: Arc<dyn Any + Send + Sync>,
+        bytes: u64,
+        primary: NodeId,
+    ) -> Vec<NodeId> {
+        let replicas: Vec<NodeId> = (0..self.replication())
+            .map(|r| NodeId((primary.0 + r) % self.spec.nodes))
+            .collect();
+        self.checkpoints.write().insert(
+            (owner, partition),
+            CheckpointBlock {
+                data,
+                bytes,
+                replicas: replicas.clone(),
+            },
+        );
+        replicas
+    }
+
+    /// Look up a checkpointed partition. Returns `None` when the partition
+    /// was never written, was removed, or lost all of its replicas.
+    pub fn checkpoint_get(&self, owner: u64, partition: usize) -> Option<CheckpointBlock> {
+        self.checkpoints.read().get(&(owner, partition)).cloned()
+    }
+
+    /// Drop every partition checkpointed under `owner` (the simulated
+    /// equivalent of deleting the checkpoint directory). Returns how many
+    /// partitions were removed.
+    pub fn checkpoint_remove(&self, owner: u64) -> usize {
+        let mut g = self.checkpoints.write();
+        let before = g.len();
+        g.retain(|(o, _), _| *o != owner);
+        before - g.len()
+    }
+
+    /// A node was lost: drop its checkpoint replicas. Blocks that lose
+    /// *all* replicas disappear entirely (subsequent reads see `None`),
+    /// which with the default 3× replication requires losing three nodes.
+    pub fn checkpoint_drop_node(&self, node: NodeId) {
+        let mut g = self.checkpoints.write();
+        for block in g.values_mut() {
+            block.replicas.retain(|r| *r != node);
+        }
+        g.retain(|_, b| !b.replicas.is_empty());
+    }
+
+    /// (blocks, total bytes) currently held in the checkpoint store.
+    pub fn checkpoint_stats(&self) -> (usize, u64) {
+        let g = self.checkpoints.read();
+        (g.len(), g.values().map(|b| b.bytes).sum())
     }
 
     /// Current block size used for newly written files.
@@ -421,5 +512,47 @@ mod tests {
         let f = fs.put("g", lines(3)).unwrap();
         let splits = f.splits(10);
         assert!(splits.len() <= 3);
+    }
+
+    #[test]
+    fn checkpoint_blocks_replicate_and_round_trip() {
+        let fs = hdfs();
+        let data: Arc<Vec<u64>> = Arc::new(vec![1, 2, 3]);
+        let replicas = fs.checkpoint_put(7, 0, data.clone(), 24, NodeId(2));
+        // 3x replication on 4 nodes, wrapping from the primary.
+        assert_eq!(replicas, vec![NodeId(2), NodeId(3), NodeId(0)]);
+        let block = fs.checkpoint_get(7, 0).expect("stored");
+        assert_eq!(block.bytes, 24);
+        assert_eq!(block.replicas, replicas);
+        let back = block.data.downcast::<Vec<u64>>().expect("typed round-trip");
+        assert_eq!(*back, vec![1, 2, 3]);
+        assert_eq!(fs.checkpoint_stats(), (1, 24));
+        assert!(fs.checkpoint_get(7, 1).is_none());
+        assert!(fs.checkpoint_get(8, 0).is_none());
+    }
+
+    #[test]
+    fn checkpoint_remove_drops_only_one_owner() {
+        let fs = hdfs();
+        let d: Arc<Vec<u64>> = Arc::new(vec![]);
+        fs.checkpoint_put(1, 0, d.clone(), 8, NodeId(0));
+        fs.checkpoint_put(1, 1, d.clone(), 8, NodeId(1));
+        fs.checkpoint_put(2, 0, d, 8, NodeId(2));
+        assert_eq!(fs.checkpoint_remove(1), 2);
+        assert_eq!(fs.checkpoint_stats(), (1, 8));
+        assert_eq!(fs.checkpoint_remove(1), 0);
+    }
+
+    #[test]
+    fn checkpoint_survives_node_loss_until_replicas_exhaust() {
+        let fs = hdfs();
+        let d: Arc<Vec<u64>> = Arc::new(vec![42]);
+        fs.checkpoint_put(5, 0, d, 16, NodeId(1));
+        fs.checkpoint_drop_node(NodeId(1));
+        let block = fs.checkpoint_get(5, 0).expect("replicas remain");
+        assert_eq!(block.replicas, vec![NodeId(2), NodeId(3)]);
+        fs.checkpoint_drop_node(NodeId(2));
+        fs.checkpoint_drop_node(NodeId(3));
+        assert!(fs.checkpoint_get(5, 0).is_none(), "all replicas lost");
     }
 }

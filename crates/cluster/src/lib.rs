@@ -54,19 +54,22 @@ pub mod work;
 pub use bytes::{slice_bytes, ByteSize};
 pub use costmodel::CostModel;
 pub use fault::{
-    FaultController, FaultError, FaultPlan, FaultySchedule, RecoveryCounters,
-    DEFAULT_BLACKLIST_AFTER, DEFAULT_MAX_TASK_FAILURES, DEFAULT_RESUBMIT_DELAY,
+    FaultController, FaultError, FaultPlan, FaultySchedule, RecoveryCounters, TransientKind,
+    TransientOutcome, DEFAULT_BLACKLIST_AFTER, DEFAULT_FETCH_BACKOFF_BASE, DEFAULT_FETCH_RETRIES,
+    DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_MAX_TASK_FAILURES, DEFAULT_RESUBMIT_DELAY,
     DEFAULT_SPECULATION_MULTIPLIER,
 };
 pub use hash::{bucket_of, fx_hash64, FxHashMap, FxHashSet, FxHasher};
-pub use hdfs::{BlockInfo, DfsError, DfsFile, SimHdfs, Split};
+pub use hdfs::{BlockInfo, CheckpointBlock, DfsError, DfsFile, SimHdfs, Split};
 pub use metrics::{
     DropCounts, Event, EventKind, JobSpan, Metrics, MetricsCapacity, MetricsSnapshot,
     StageExecution, StageSpan, TaskExecution, TaskSpan,
 };
 pub use pool::ThreadPool;
 pub use report::{full_report, iteration_report, stage_report};
-pub use sched::{DetailedSchedule, ScheduleOutcome, TaskPlacement, TaskSpec, VirtualScheduler};
+pub use sched::{
+    DetailedSchedule, HeartbeatMonitor, ScheduleOutcome, TaskPlacement, TaskSpec, VirtualScheduler,
+};
 pub use spec::{ClusterSpec, NodeId};
 pub use time::{SimDuration, SimInstant};
 pub use trace::chrome_trace;

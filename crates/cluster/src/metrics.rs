@@ -51,6 +51,9 @@ pub enum EventKind {
     /// builds, cross-pass trim planning) — attributed separately from
     /// generic driver work so reports can show what the re-encoding costs.
     Projection,
+    /// Materializing an RDD's partitions to replicated simulated HDFS
+    /// (lineage truncation) and reads served back from such a checkpoint.
+    Checkpoint,
     /// Anything else.
     Other,
 }

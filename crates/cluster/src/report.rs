@@ -296,6 +296,25 @@ pub fn full_report(metrics: &Metrics) -> String {
             r.broadcast_refetches
         );
     }
+    // The transient/checkpoint layer gets its own line, again only when
+    // something actually happened.
+    if r.fetch_retries > 0
+        || r.backoff_micros > 0
+        || r.checkpoint_writes > 0
+        || r.checkpoint_reads > 0
+        || r.max_replay_depth > 0
+    {
+        let _ = writeln!(
+            out,
+            "transients: {} fetch retries | {:.3}s backoff | \
+             {} checkpoint writes | {} checkpoint reads | max replay depth {}",
+            r.fetch_retries,
+            r.backoff_micros as f64 / 1e6,
+            r.checkpoint_writes,
+            r.checkpoint_reads,
+            r.max_replay_depth
+        );
+    }
     out
 }
 
@@ -445,7 +464,35 @@ mod tests {
     }
 
     #[test]
-    fn fault_free_report_has_no_recovery_line() {
+    fn transient_and_checkpoint_counters_show_in_totals() {
+        use crate::fault::RecoveryCounters;
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "s".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 1.0, TaskProfile::new())],
+        });
+        m.note_recovery(&RecoveryCounters {
+            fetch_retries: 4,
+            backoff_micros: 1_500_000,
+            checkpoint_writes: 8,
+            checkpoint_reads: 3,
+            max_replay_depth: 2,
+            ..RecoveryCounters::default()
+        });
+        let report = full_report(&m);
+        assert!(report.contains("4 fetch retries"), "{report}");
+        assert!(report.contains("1.500s backoff"), "{report}");
+        assert!(report.contains("8 checkpoint writes"), "{report}");
+        assert!(report.contains("3 checkpoint reads"), "{report}");
+        assert!(report.contains("max replay depth 2"), "{report}");
+    }
+
+    #[test]
+    fn fault_free_report_has_no_recovery_lines() {
         let m = Metrics::new();
         m.record_stage(StageExecution {
             label: "clean".into(),
@@ -455,7 +502,9 @@ mod tests {
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, TaskProfile::new())],
         });
-        assert!(!full_report(&m).contains("recovery:"));
+        let report = full_report(&m);
+        assert!(!report.contains("recovery:"));
+        assert!(!report.contains("transients:"));
     }
 
     #[test]

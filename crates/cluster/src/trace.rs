@@ -145,6 +145,21 @@ pub fn chrome_trace_value(metrics: &Metrics, spec: &ClusterSpec) -> JsonValue {
             args.push(("shuffle_id", sid.into()));
         }
         args.extend(profile_args(&stage.profile));
+        // Recovery work attributed to this stage — only emitted when the
+        // stage actually recovered from something, so clean traces stay
+        // byte-identical to pre-fault exports.
+        let r = &stage.recovery;
+        if r.any() {
+            args.extend([
+                ("task_failures", r.task_failures.into()),
+                ("task_retries", r.task_retries.into()),
+                ("speculative_launched", r.speculative_launched.into()),
+                ("fetch_retries", r.fetch_retries.into()),
+                ("backoff_us", r.backoff_micros.into()),
+                ("checkpoint_writes", r.checkpoint_writes.into()),
+                ("checkpoint_reads", r.checkpoint_reads.into()),
+            ]);
+        }
         events.push(complete(
             format!("stage {}: {}", stage.stage_id, stage.label),
             "stage",
@@ -310,6 +325,59 @@ mod tests {
             3 + 3 * 2,
             "3 driver tracks + 3 nodes x 2 cores"
         );
+    }
+
+    #[test]
+    fn recovering_stage_exports_recovery_args() {
+        use crate::fault::RecoveryCounters;
+        let m = Metrics::new();
+        m.record_stage_with_recovery(
+            StageExecution {
+                label: "flaky".into(),
+                kind: EventKind::Stage,
+                shuffle_id: None,
+                overhead: SimDuration::ZERO,
+                trailing: SimDuration::ZERO,
+                tasks: vec![TaskExecution {
+                    partition: 0,
+                    node: NodeId(0),
+                    core: 0,
+                    start: SimDuration::ZERO,
+                    duration: SimDuration::from_secs(1.0),
+                    profile: TaskProfile::new(),
+                }],
+            },
+            RecoveryCounters {
+                fetch_retries: 5,
+                backoff_micros: 700,
+                checkpoint_writes: 2,
+                ..RecoveryCounters::default()
+            },
+        );
+        let spec = ClusterSpec::new(2, 2, 1 << 30);
+        let doc = json::parse(&chrome_trace(&m, &spec)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let stage = events
+            .iter()
+            .find(|e| e.get("cat").and_then(JsonValue::as_str) == Some("stage"))
+            .expect("stage event present");
+        let args = stage.get("args").unwrap();
+        assert_eq!(args.get("fetch_retries").unwrap().as_f64(), Some(5.0));
+        assert_eq!(args.get("backoff_us").unwrap().as_f64(), Some(700.0));
+        assert_eq!(args.get("checkpoint_writes").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn clean_stage_exports_no_recovery_args() {
+        let m = sample_metrics();
+        let spec = ClusterSpec::new(2, 2, 1 << 30);
+        let doc = json::parse(&chrome_trace(&m, &spec)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let stage = events
+            .iter()
+            .find(|e| e.get("cat").and_then(JsonValue::as_str) == Some("stage"))
+            .expect("stage event present");
+        assert!(stage.get("args").unwrap().get("fetch_retries").is_none());
     }
 
     #[test]

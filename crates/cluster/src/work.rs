@@ -28,6 +28,9 @@ pub struct WorkCounters {
     pub net_bytes: u64,
     /// Bytes passed through a serialization boundary.
     pub ser_bytes: u64,
+    /// Microseconds the task spent stalled waiting (transient-fetch retry
+    /// backoff). Kept in integer microseconds so the counters stay `Eq`.
+    pub stall_micros: u64,
 }
 
 impl WorkCounters {
@@ -79,6 +82,12 @@ impl WorkCounters {
         self.ser_bytes += bytes;
     }
 
+    /// Record time the task spent stalled (retry backoff), in microseconds
+    /// of virtual time.
+    pub fn add_stall_micros(&mut self, micros: u64) {
+        self.stall_micros += micros;
+    }
+
     /// Merge another counter set into this one.
     pub fn merge(&mut self, other: &WorkCounters) {
         self.records_in += other.records_in;
@@ -89,11 +98,13 @@ impl WorkCounters {
         self.mem_read_bytes += other.mem_read_bytes;
         self.net_bytes += other.net_bytes;
         self.ser_bytes += other.ser_bytes;
+        self.stall_micros += other.stall_micros;
     }
 
     /// Convert the counters into a virtual duration under `model`, *excluding*
     /// framework per-task overheads (the engine adds those, because they
-    /// differ between MapReduce and Spark).
+    /// differ between MapReduce and Spark). Stall time (retry backoff) is
+    /// model-independent wall waiting and is added as-is.
     pub fn data_time(&self, model: &CostModel) -> SimDuration {
         model.cpu(self.cpu_units)
             + model.disk_read(self.disk_read_bytes)
@@ -101,6 +112,7 @@ impl WorkCounters {
             + model.mem_scan(self.mem_read_bytes)
             + model.net_transfer(self.net_bytes)
             + model.serialize(self.ser_bytes)
+            + SimDuration::from_secs(self.stall_micros as f64 / 1e6)
     }
 }
 

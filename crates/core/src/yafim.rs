@@ -75,6 +75,13 @@ pub struct Phase2Config {
     pub matcher: Matcher,
     /// DHP-style cross-pass trimming of the cached RDD. Requires `project`.
     pub trim: bool,
+    /// Checkpoint the work RDD to replicated HDFS blocks every this many
+    /// completed Phase-II passes, truncating its lineage (0 = never). When
+    /// 0, an active [`yafim_cluster::FaultPlan`] with a nonzero
+    /// `checkpoint_interval` supplies the cadence instead. Invisible to
+    /// results; after a node loss, recovery replays at most this many
+    /// passes of projection/trim work instead of the chain back to HDFS.
+    pub checkpoint_interval: usize,
 }
 
 impl Phase2Config {
@@ -85,6 +92,7 @@ impl Phase2Config {
             triangle_pass2: false,
             matcher: Matcher::HashTree,
             trim: false,
+            checkpoint_interval: 0,
         }
     }
 
@@ -96,6 +104,7 @@ impl Phase2Config {
             triangle_pass2: true,
             matcher: Matcher::Trie,
             trim: true,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -257,6 +266,17 @@ impl Yafim {
         };
 
         // ---- Phase II: iterate L_k → C_{k+1} → L_{k+1}, in work space ----
+        //
+        // Checkpoint cadence: the explicit Phase-II knob wins; with it at 0,
+        // an active fault plan may still request one (chaos runs flip
+        // checkpointing on without touching the miner config).
+        let ckpt_every = if p2.checkpoint_interval != 0 {
+            p2.checkpoint_interval
+        } else {
+            ctx.cluster().faults().plan().checkpoint_interval
+        };
+        let mut passes_since_ckpt = 0usize;
+        let mut checkpointed: Option<Rdd<Vec<Item>>> = None;
         let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1_work];
         let mut pass = 2usize;
         loop {
@@ -348,6 +368,32 @@ impl Yafim {
                 work = trimmed;
             }
 
+            // ---- Checkpoint: truncate lineage every `ckpt_every` passes --
+            //
+            // The checkpoint job materializes `work` into replicated HDFS
+            // blocks and swaps in a reader whose lineage is one level deep.
+            // A node loss in a later pass then re-reads the blocks instead
+            // of replaying every projection/trim back to the input file —
+            // recovery work is bounded by the checkpoint interval.
+            if ckpt_every != 0 {
+                passes_since_ckpt += 1;
+                if passes_since_ckpt >= ckpt_every {
+                    passes_since_ckpt = 0;
+                    let cp = work.checkpoint().cache();
+                    // The checkpoint job materialized `work`; it and
+                    // whatever it superseded can release cluster memory, and
+                    // the previous checkpoint's blocks are now stale.
+                    if let Some(old) = replaced.take() {
+                        old.unpersist();
+                    }
+                    work.unpersist();
+                    if let Some(prev) = checkpointed.replace(cp.clone()) {
+                        prev.discard_checkpoint();
+                    }
+                    work = cp;
+                }
+            }
+
             levels.push(lk);
             pass += 1;
         }
@@ -359,6 +405,9 @@ impl Yafim {
         }
         work.unpersist();
         transactions.unpersist();
+        if let Some(cp) = checkpointed.take() {
+            cp.discard_checkpoint();
+        }
 
         // Decode rank-space results back to the original alphabet; the
         // monotone encoding preserves itemset order, so per-level sort
@@ -630,6 +679,7 @@ mod tests {
                             triangle_pass2: triangle,
                             matcher,
                             trim,
+                            checkpoint_interval: 0,
                         };
                         let run = mine_in_memory(&ctx(), &toy(), cfg);
                         assert_eq!(
@@ -641,6 +691,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn checkpointing_is_invisible_to_results() {
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        for interval in [1, 2] {
+            for optimized in [false, true] {
+                let mut cfg = if optimized {
+                    YafimConfig::optimized(Support::Count(2))
+                } else {
+                    YafimConfig::new(Support::Count(2))
+                };
+                cfg.phase2.checkpoint_interval = interval;
+                let c = ctx();
+                let run = mine_in_memory(&c, &toy(), cfg);
+                assert_eq!(run.result, seq, "interval={interval} optimized={optimized}");
+                let rec = c.metrics().snapshot().recovery;
+                assert!(
+                    rec.checkpoint_writes > 0,
+                    "interval={interval}: checkpoints must have been written"
+                );
+                assert_eq!(
+                    c.cluster().hdfs().checkpoint_stats().0,
+                    0,
+                    "stale checkpoint blocks released at run end"
+                );
+                let stats = c.cache().stats();
+                assert_eq!(stats.entries, 0, "no leaked cached partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_supplies_checkpoint_cadence() {
+        use yafim_cluster::FaultPlan;
+        let c = ctx();
+        c.cluster()
+            .faults()
+            .set_plan(FaultPlan::seeded(3).with_checkpoint_interval(1));
+        let run = mine_in_memory(&c, &toy(), YafimConfig::new(Support::Count(2)));
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq);
+        assert!(
+            c.metrics().snapshot().recovery.checkpoint_writes > 0,
+            "plan-driven cadence must checkpoint without touching the miner config"
+        );
     }
 
     #[test]

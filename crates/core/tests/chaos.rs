@@ -133,6 +133,80 @@ fn chaos_runs_are_reproducible() {
 }
 
 #[test]
+fn transient_and_heartbeat_faults_are_invisible_to_results() {
+    // The full transient taxonomy at once: flaky shuffle fetches and HDFS
+    // reads (retried with exponential backoff, escalating to map
+    // resubmission), heartbeat-delayed node-loss detection, and
+    // plan-driven checkpointing. None of it may change a single support.
+    let (tx, support) = dataset();
+    let reference = apriori(&tx, &SequentialConfig::new(support));
+
+    for seed in 0..3u64 {
+        let c = cluster();
+        c.hdfs().put_overwrite("d.dat", to_lines(&tx));
+        c.faults().set_plan(
+            FaultPlan::seeded(seed)
+                .flaky_fetches(0.2)
+                .flaky_hdfs(0.2)
+                .with_heartbeat(SimDuration::from_secs(0.5), SimDuration::from_secs(1.0))
+                .with_checkpoint_interval(1)
+                .lose_node_at(
+                    NodeId((seed % 4) as u32),
+                    SimInstant::EPOCH + SimDuration::from_secs(2.0 + seed as f64),
+                ),
+        );
+        let run = Yafim::new(Context::new(c.clone()), YafimConfig::new(support))
+            .mine("d.dat")
+            .expect("transients and one loss stay below the retry budget");
+        assert_eq!(
+            reference, run.result,
+            "seed {seed}: transient faults changed mining results"
+        );
+        let rec = c.metrics().snapshot().recovery;
+        assert!(
+            rec.fetch_retries > 0,
+            "seed {seed}: flaky plan must have retried fetches"
+        );
+        assert!(
+            rec.backoff_micros > 0,
+            "seed {seed}: retries must have backed off"
+        );
+        assert!(
+            rec.checkpoint_writes > 0,
+            "seed {seed}: plan-driven checkpointing must have fired"
+        );
+    }
+}
+
+#[test]
+fn transient_chaos_runs_are_reproducible() {
+    let (tx, support) = dataset();
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        let c = cluster();
+        c.hdfs().put_overwrite("d.dat", to_lines(&tx));
+        c.faults().set_plan(
+            FaultPlan::seeded(9)
+                .flaky_fetches(0.3)
+                .flaky_hdfs(0.3)
+                .with_checkpoint_interval(2),
+        );
+        let run = Yafim::new(Context::new(c.clone()), YafimConfig::optimized(support))
+            .mine("d.dat")
+            .expect("transients never abort");
+        reports.push((
+            run.result,
+            run.total_seconds,
+            c.metrics().snapshot().recovery,
+        ));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "same transient seed must reproduce results, time and counters bit-for-bit"
+    );
+}
+
+#[test]
 fn mr_exceeding_retry_budget_aborts_descriptively() {
     let (tx, support) = dataset();
     let c = cluster();

@@ -52,6 +52,7 @@ fn all_configs() -> Vec<Phase2Config> {
                         triangle_pass2,
                         matcher,
                         trim,
+                        checkpoint_interval: 0,
                     });
                 }
             }
@@ -168,6 +169,72 @@ fn optimized_path_survives_node_loss() {
         let rec = c.metrics().snapshot().recovery;
         assert!(rec.any(), "seed {seed}: the plan must actually fire");
         assert_eq!(rec.nodes_lost, 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn node_loss_at_every_pass_boundary_is_invisible() {
+    // Kill a node just after each pass boundary, on both engines, with
+    // checkpointing off and on (interval 2, supplied through the fault
+    // plan). Whatever the recovery path — lineage replay back to HDFS or a
+    // bounded re-read of checkpoint blocks — itemsets and supports must be
+    // byte-identical to the sequential reference every time.
+    let tx = PaperDataset::Medical.generate_scaled(0.01);
+    let support = Support::Fraction(0.05);
+    let reference = apriori(&tx, &SequentialConfig::new(support));
+
+    for (name, p2) in [
+        ("paper", Phase2Config::paper()),
+        ("optimized", Phase2Config::optimized()),
+    ] {
+        // A clean run maps pass number → cumulative virtual seconds, so
+        // each loss lands just after "its" pass completed.
+        let clean = run(&tx, support, p2.clone());
+        assert_eq!(reference, clean.result, "{name}: clean run");
+        let mut cum = 0.0;
+        let boundaries: Vec<f64> = clean
+            .passes
+            .iter()
+            .map(|p| {
+                cum += p.seconds;
+                cum
+            })
+            .collect();
+
+        for (k, &boundary) in boundaries.iter().enumerate() {
+            for ckpt in [0usize, 2] {
+                let c = cluster();
+                c.hdfs().put_overwrite("d.dat", to_lines(&tx));
+                c.faults().set_plan(
+                    FaultPlan::seeded(k as u64)
+                        .lose_node_at(
+                            NodeId((k % 4) as u32),
+                            SimInstant::EPOCH + SimDuration::from_secs(boundary + 1e-3),
+                        )
+                        .with_checkpoint_interval(ckpt),
+                );
+                let cfg = YafimConfig {
+                    phase2: p2.clone(),
+                    ..YafimConfig::new(support)
+                };
+                let r = Yafim::new(Context::new(c.clone()), cfg)
+                    .mine("d.dat")
+                    .expect("single node loss stays below the retry budget");
+                assert_eq!(
+                    reference,
+                    r.result,
+                    "{name}: loss after pass {} (ckpt interval {ckpt}) changed results",
+                    k + 1
+                );
+                if ckpt != 0 {
+                    let rec = c.metrics().snapshot().recovery;
+                    assert!(
+                        rec.checkpoint_writes > 0,
+                        "{name}: interval {ckpt} run must have checkpointed"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -22,7 +22,7 @@
 use std::any::Any;
 use std::sync::Arc;
 use yafim_cluster::sync::Mutex;
-use yafim_cluster::{ClusterSpec, FxHashMap};
+use yafim_cluster::{ClusterSpec, FxHashMap, FxHashSet};
 
 /// How a cached partition behaves under memory pressure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -95,6 +95,10 @@ struct Inner {
     misses: u64,
     evictions: u64,
     peak_bytes: u64,
+    /// Partitions dropped by a node loss and not yet re-read. The next
+    /// cache miss on one of these is a genuine lineage *replay*, which the
+    /// recovery counters attribute with its replay depth.
+    lost: FxHashSet<(u64, usize)>,
 }
 
 /// Thread-safe cache of `(rdd id, partition) → Arc<Vec<T>>`.
@@ -125,6 +129,7 @@ impl CacheManager {
                 misses: 0,
                 evictions: 0,
                 peak_bytes: 0,
+                lost: FxHashSet::default(),
             }),
             capacity_per_node,
             nodes,
@@ -288,7 +293,17 @@ impl CacheManager {
             let e = g.disk.remove(k).expect("key just listed");
             g.disk_used -= e.bytes;
         }
+        for k in mem_keys.iter().chain(&disk_keys) {
+            g.lost.insert(*k);
+        }
         mem_keys.len() + disk_keys.len()
+    }
+
+    /// Whether `(rdd, part)` was dropped by a node loss and not yet
+    /// recomputed. Clears the mark — the first recomputation after the loss
+    /// is the lineage replay; later misses are ordinary cache churn.
+    pub fn take_lost(&self, rdd: u64, part: usize) -> bool {
+        self.inner.lock().lost.remove(&(rdd, part))
     }
 
     /// Drop every cached partition of an RDD, both tiers (unpersist).
@@ -309,6 +324,8 @@ impl CacheManager {
             let e = g.disk.remove(k).expect("key just listed");
             g.disk_used -= e.bytes;
         }
+        // An unpersisted RDD's pending replay marks are moot.
+        g.lost.retain(|(r, _)| *r != rdd);
         mem_keys.len() + disk_keys.len()
     }
 
@@ -514,6 +531,28 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.entries, s.disk_entries, s.disk_bytes), (1, 0, 0));
         assert_eq!(c.evict_node(0), 0, "idempotent");
+    }
+
+    #[test]
+    fn node_loss_marks_partitions_lost_once() {
+        let c = mgr(100);
+        assert!(mem_put(&c, 1, 0, 0, 10));
+        assert!(mem_put(&c, 1, 1, 1, 10));
+        c.evict_node(0);
+        assert!(c.take_lost(1, 0), "dropped by the loss");
+        assert!(!c.take_lost(1, 0), "replay attributed once");
+        assert!(!c.take_lost(1, 1), "node 1 survived");
+        // LRU eviction is ordinary churn, never a replay.
+        let c2 = mgr(10);
+        assert!(mem_put(&c2, 1, 0, 0, 8));
+        assert!(mem_put(&c2, 1, 1, 0, 8)); // evicts (1,0)
+        assert!(!c2.take_lost(1, 0));
+        // Unpersist clears pending marks.
+        let c3 = mgr(100);
+        assert!(mem_put(&c3, 2, 0, 0, 10));
+        c3.evict_node(0);
+        c3.evict_rdd(2);
+        assert!(!c3.take_lost(2, 0));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! blocks are re-fetched.
 
 use crate::context::Context;
-use crate::rdd::{materialize, node_for, Data, Rdd, RddImpl};
+use crate::rdd::{materialize, node_for, CheckpointRdd, Data, Rdd, RddImpl};
 use crate::shuffle::ShuffleStage;
 use crate::task::TaskContext;
 use std::sync::Arc;
@@ -198,6 +198,9 @@ pub(crate) fn sync_node_losses(ctx: &Context) -> Vec<NodeLossReport> {
 pub(crate) fn apply_node_loss(ctx: &Context, node: NodeId) -> NodeLossReport {
     let cached = ctx.cache().evict_node(node.index());
     let map_lost = ctx.shuffles().mark_node_lost(node);
+    // Checkpoint replicas on the node are gone too; remaining replicas keep
+    // serving reads (a block only disappears when every replica is lost).
+    ctx.cluster().hdfs().checkpoint_drop_node(node);
     let metrics = ctx.metrics().clone();
     let cost = ctx.cluster().cost().clone();
 
@@ -340,6 +343,62 @@ pub(crate) fn try_collect<T: Data>(rdd: &Rdd<T>) -> Result<Vec<T>, ExecError> {
         out.extend(p.iter().cloned());
     }
     Ok(out)
+}
+
+/// The `checkpoint` action: materialize every partition of `rdd` to
+/// replicated blocks in simulated HDFS and return a [`CheckpointRdd`] that
+/// reads them back. One job, one write stage attributed to
+/// [`EventKind::Checkpoint`]; each task serializes its partition, writes the
+/// primary replica to local disk and ships the remaining replicas over the
+/// network (pipelined, like an HDFS block write).
+pub(crate) fn try_checkpoint<T: Data>(rdd: &Rdd<T>) -> Result<Rdd<T>, ExecError> {
+    let ctx = &rdd.ctx;
+    let metrics = ctx.metrics().clone();
+    let job = metrics.begin_job(format!("checkpoint rdd{}", rdd.id()));
+    metrics.advance(SimDuration::from_secs(
+        ctx.cluster().cost().spark_job_overhead,
+    ));
+
+    let result = (|| {
+        prepare_shuffles(ctx, &rdd.imp)?;
+        let imp = Arc::clone(&rdd.imp);
+        let partitions = imp.num_partitions();
+        let cp = CheckpointRdd::<T>::new(ctx, partitions);
+        let cp_id = cp.meta.id;
+        let preferred: Vec<Option<NodeId>> = (0..partitions)
+            .map(|p| imp.preferred_node(p).or_else(|| Some(node_for(&imp, p))))
+            .collect();
+        let shuffle_read = imp.shuffle_read_id();
+        let cluster = ctx.cluster().clone();
+        let replication = cluster.hdfs().replication() as u64;
+        try_run_stage(
+            ctx,
+            format!("checkpoint rdd{} -> rdd{cp_id}", rdd.id()),
+            EventKind::Checkpoint,
+            shuffle_read,
+            partitions,
+            preferred,
+            Arc::new(move |part, tc: &TaskContext| {
+                let data = materialize(&imp, part, tc).into_arc(tc);
+                let bytes = slice_bytes(&data);
+                tc.add_ser(bytes); // serialize the block for stable storage
+                tc.add_disk_write(bytes); // primary replica, node-local
+                tc.add_net(bytes * replication.saturating_sub(1)); // pipeline to the others
+                tc.note_records_written(data.len() as u64);
+                cluster
+                    .hdfs()
+                    .checkpoint_put(cp_id, part, data, bytes, tc.node);
+            }),
+        )?;
+        metrics.note_recovery(&RecoveryCounters {
+            checkpoint_writes: partitions as u64,
+            ..RecoveryCounters::default()
+        });
+        sync_node_losses(ctx);
+        Ok(Rdd::from_impl(ctx.clone(), Arc::new(cp)))
+    })();
+    metrics.end_job(job);
+    result
 }
 
 /// The `count` action: computes every partition but only its length crosses

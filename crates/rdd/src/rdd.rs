@@ -39,9 +39,12 @@ use crate::exec;
 use crate::shuffle::{ReduceByKeyRdd, ShuffleStage};
 use crate::task::TaskContext;
 use std::hash::Hash;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
-use yafim_cluster::{slice_bytes, ByteSize, DfsFile, NodeId, Split};
+use yafim_cluster::{
+    slice_bytes, ByteSize, DfsFile, NodeId, RecoveryCounters, Split, TransientKind,
+};
 
 // Persistence state encoding for `RddMeta::persist_level`.
 const PERSIST_NONE: u8 = 0;
@@ -292,6 +295,15 @@ pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
     fn shuffle_read_id(&self) -> Option<u64> {
         None
     }
+    /// Number of operator nodes a from-scratch recomputation of this RDD
+    /// replays within its stage: 1 for sources and stage boundaries
+    /// (shuffle reads, checkpoint reads — recovery restarts from their
+    /// materialized output), parent + 1 for narrow operators. This is the
+    /// "lineage replay depth" the recovery counters report, and what
+    /// checkpointing truncates.
+    fn lineage_len(&self) -> u64 {
+        1
+    }
 }
 
 /// The node a partition's task runs on: its locality preference, or its
@@ -335,6 +347,15 @@ pub(crate) fn materialize<'a, T: Data>(
         return Pipe::Shared(data);
     }
     tc.note_cache_miss();
+    if meta.ctx.cache().take_lost(meta.id, part) {
+        // This miss recomputes a partition a node loss destroyed: the whole
+        // narrow chain down to the nearest stable input (source, shuffle or
+        // checkpoint) replays. Report how deep that replay went.
+        meta.ctx.metrics().note_recovery(&RecoveryCounters {
+            max_replay_depth: imp.lineage_len(),
+            ..RecoveryCounters::default()
+        });
+    }
     let data = Arc::new(imp.compute(part, tc).into_vec(tc));
     tc.note_records_written(data.len() as u64);
     let bytes = 8 + slice_bytes(&data);
@@ -399,6 +420,35 @@ impl<T: Data> Rdd<T> {
     pub fn unpersist(&self) {
         self.imp.meta().set_level(None);
         self.ctx.cache().evict_rdd(self.id());
+    }
+
+    /// Materialize this RDD to replicated simulated HDFS and return a new
+    /// RDD reading from the checkpoint, with its lineage truncated: the
+    /// returned RDD has no ancestors, so recovery after a node loss re-reads
+    /// the replicated blocks instead of replaying the chain that produced
+    /// them. This is Spark's *eager* `checkpoint()` (compute-now, as
+    /// `localCheckpoint`/`checkpoint`+action does), run as one job whose
+    /// write stage is attributed to `EventKind::Checkpoint`.
+    ///
+    /// Panics if the checkpoint job aborts under an active fault plan; use
+    /// [`Rdd::try_checkpoint`] for the fallible variant.
+    pub fn checkpoint(&self) -> Rdd<T> {
+        self.try_checkpoint().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Rdd::checkpoint`]; see [`Rdd::try_collect`].
+    pub fn try_checkpoint(&self) -> Result<Rdd<T>, crate::exec::ExecError> {
+        exec::try_checkpoint(self)
+    }
+
+    /// Drop this RDD's checkpoint blocks from simulated HDFS (cleanup once
+    /// a newer checkpoint supersedes it). A no-op for RDDs that are not
+    /// checkpoint readers.
+    pub fn discard_checkpoint(&self) -> usize {
+        self.ctx
+            .cluster()
+            .hdfs()
+            .checkpoint_remove(self.imp.meta().id)
     }
 
     /// Transform every element.
@@ -571,6 +621,41 @@ impl<T: Data> RddImpl<T> for ParallelizeRdd<T> {
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
 }
 
+/// Walk the seeded transient ladder for an HDFS-backed partition read
+/// (text-file split or checkpoint block). Each retry re-fetches the full
+/// `bytes` from a replica over the network, the accumulated backoff stalls
+/// the task, and an escalation pays one final read from a *different*
+/// replica. Failure here never loses data — replication absorbs it — so
+/// nothing is recomputed; the ladder only costs virtual time.
+pub(crate) fn charge_transient_hdfs_read(
+    ctx: &Context,
+    tc: &TaskContext,
+    id: u64,
+    part: usize,
+    bytes: u64,
+) {
+    let t = ctx
+        .cluster()
+        .faults()
+        .transient(TransientKind::HdfsRead, id, part);
+    if !t.any() {
+        return;
+    }
+    for _ in 0..t.retries {
+        tc.add_net(bytes);
+    }
+    tc.add_stall_micros(t.backoff_micros);
+    if t.escalated {
+        tc.add_net(bytes);
+    }
+    ctx.metrics().note_recovery(&RecoveryCounters {
+        fetch_retries: t.retries,
+        backoff_micros: t.backoff_micros,
+        fetch_failures: if t.escalated { 1 } else { 0 },
+        ..RecoveryCounters::default()
+    });
+}
+
 /// Source: a text file in simulated HDFS, one element per line. Streams the
 /// split's lines straight out of the DFS block, cloning per pulled line.
 pub(crate) struct HdfsTextRdd {
@@ -600,10 +685,91 @@ impl RddImpl<String> for HdfsTextRdd {
             // Non-local read: the bytes cross the network from a replica.
             tc.add_net(split.bytes);
         }
+        charge_transient_hdfs_read(&self.meta.ctx, tc, self.meta.id, part, split.bytes);
         let lines = &self.file.lines()[split.lines.clone()];
         tc.add_records_out(lines.len() as u64);
         tc.note_records_read(lines.len() as u64);
         Pipe::Iter(Box::new(lines.iter().cloned()))
+    }
+
+    fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
+}
+
+/// Source: an RDD materialized to simulated HDFS by [`Rdd::checkpoint`].
+/// Its partitions are read back from replicated checkpoint blocks, and its
+/// lineage is *empty* — `collect_shuffle_deps` reports nothing and
+/// `lineage_len` is 1, so recovery after a loss re-reads the checkpoint
+/// instead of replaying the ancestor chain. This is the truncation.
+pub(crate) struct CheckpointRdd<T: Data> {
+    pub(crate) meta: RddMeta,
+    partitions: usize,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Data> CheckpointRdd<T> {
+    pub(crate) fn new(ctx: &Context, partitions: usize) -> Self {
+        CheckpointRdd {
+            meta: RddMeta::new(ctx),
+            partitions,
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T: Data> RddImpl<T> for CheckpointRdd<T> {
+    fn meta(&self) -> &RddMeta {
+        &self.meta
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn preferred_node(&self, part: usize) -> Option<NodeId> {
+        // The primary replica — wherever it lives *now* (a node loss can
+        // drop the original primary, promoting the next replica).
+        self.meta
+            .ctx
+            .cluster()
+            .hdfs()
+            .checkpoint_get(self.meta.id, part)
+            .and_then(|b| b.replicas.first().copied())
+    }
+
+    fn compute<'a>(&'a self, part: usize, tc: &'a TaskContext) -> Pipe<'a, T> {
+        let ctx = &self.meta.ctx;
+        let block = ctx
+            .cluster()
+            .hdfs()
+            .checkpoint_get(self.meta.id, part)
+            .unwrap_or_else(|| {
+                panic!(
+                    "checkpoint rdd{} partition {part}: all replicas lost \
+                     (lineage was truncated, nothing left to replay)",
+                    self.meta.id
+                )
+            });
+        let data: Arc<Vec<T>> = match block.data.downcast() {
+            Ok(d) => d,
+            Err(_) => panic!(
+                "checkpoint rdd{} partition {part}: type mismatch",
+                self.meta.id
+            ),
+        };
+        if block.replicas.contains(&tc.node) {
+            tc.add_disk_read(block.bytes);
+        } else {
+            tc.add_net(block.bytes);
+        }
+        tc.add_ser(block.bytes); // deserialize the stored block
+        charge_transient_hdfs_read(ctx, tc, self.meta.id, part, block.bytes);
+        ctx.metrics().note_recovery(&RecoveryCounters {
+            checkpoint_reads: 1,
+            ..RecoveryCounters::default()
+        });
+        tc.add_records_out(data.len() as u64);
+        tc.note_records_read(data.len() as u64);
+        Pipe::Shared(data)
     }
 
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
@@ -640,6 +806,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapRdd<P, T> {
 
     fn shuffle_read_id(&self) -> Option<u64> {
         self.parent.shuffle_read_id()
+    }
+
+    fn lineage_len(&self) -> u64 {
+        self.parent.lineage_len() + 1
     }
 }
 
@@ -678,6 +848,10 @@ impl<P: Data, T: Data> RddImpl<T> for FlatMapRdd<P, T> {
     fn shuffle_read_id(&self) -> Option<u64> {
         self.parent.shuffle_read_id()
     }
+
+    fn lineage_len(&self) -> u64 {
+        self.parent.lineage_len() + 1
+    }
 }
 
 pub(crate) struct FilterRdd<T: Data> {
@@ -711,6 +885,10 @@ impl<T: Data> RddImpl<T> for FilterRdd<T> {
 
     fn shuffle_read_id(&self) -> Option<u64> {
         self.parent.shuffle_read_id()
+    }
+
+    fn lineage_len(&self) -> u64 {
+        self.parent.lineage_len() + 1
     }
 }
 
@@ -750,6 +928,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
 
     fn shuffle_read_id(&self) -> Option<u64> {
         self.parent.shuffle_read_id()
+    }
+
+    fn lineage_len(&self) -> u64 {
+        self.parent.lineage_len() + 1
     }
 }
 
@@ -798,5 +980,14 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
         for p in &self.parents {
             p.collect_shuffle_deps(out);
         }
+    }
+
+    fn lineage_len(&self) -> u64 {
+        self.parents
+            .iter()
+            .map(|p| p.lineage_len())
+            .max()
+            .unwrap_or(0)
+            + 1
     }
 }

@@ -30,7 +30,10 @@ use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::sync::{Arc, Weak};
 use yafim_cluster::sync::Mutex;
-use yafim_cluster::{bucket_of, slice_bytes, EventKind, FxHashMap, NodeId, RecoveryCounters};
+use yafim_cluster::{
+    bucket_of, fx_hash64, slice_bytes, EventKind, FxHashMap, NodeId, RecoveryCounters,
+    TransientKind,
+};
 
 /// A shuffle's map side, to be run before any stage that reads it.
 pub(crate) trait ShuffleStage: Send + Sync {
@@ -346,6 +349,46 @@ where
     }
 }
 
+impl<K, V> ReduceByKeyRdd<K, V>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    /// Walk the seeded transient-fetch ladder for every reduce partition of
+    /// a freshly materialized shuffle. An *escalated* outcome means some map
+    /// output stayed unfetchable after every retry: the driver reacts as it
+    /// does to a fetch failure — it resubmits the (deterministically chosen)
+    /// victim map task, patching its output back in like a node-loss hole.
+    /// Runs once per materialization, right after the initial map stage;
+    /// resubmissions and later hole repairs never re-roll the ladder.
+    fn apply_transient_escalations(&self) -> Result<(), ExecError> {
+        let faults = self.ctx().cluster().faults().clone();
+        let maps = self.parent.num_partitions();
+        if maps == 0 {
+            return Ok(());
+        }
+        let mut lost: BTreeSet<usize> = BTreeSet::new();
+        let mut escalations = 0u64;
+        for r in 0..self.partitions {
+            let t = faults.transient(TransientKind::ShuffleFetch, self.meta.id, r);
+            if t.escalated {
+                escalations += 1;
+                lost.insert(fx_hash64(&(self.meta.id, r as u64, 0x5e5cu64)) as usize % maps);
+            }
+        }
+        if lost.is_empty() {
+            return Ok(());
+        }
+        let lost: Vec<usize> = lost.into_iter().collect();
+        self.ctx().metrics().note_recovery(&RecoveryCounters {
+            fetch_failures: escalations,
+            recomputed_partitions: lost.len() as u64,
+            ..RecoveryCounters::default()
+        });
+        self.run_map_stage(Some(&lost))
+    }
+}
+
 impl<K, V> ShuffleStage for ReduceByKeyRdd<K, V>
 where
     K: Data + Hash + Eq,
@@ -381,7 +424,8 @@ where
             }
             return Ok(());
         }
-        self.run_map_stage(None)
+        self.run_map_stage(None)?;
+        self.apply_transient_escalations()
     }
 }
 
@@ -419,6 +463,33 @@ where
         tc.add_net(bytes - local);
         tc.add_ser(bytes);
         tc.note_shuffle_read(bytes);
+
+        // Seeded transient-fetch ladder: each retry re-fetches the
+        // partition's buckets, the accumulated backoff stalls the task, and
+        // an escalation pays one more full fetch after the driver
+        // resubmitted the victim map task (the resubmission itself is
+        // charged in `prepare`). Data is never wrong — only time grows.
+        let t = self.ctx().cluster().faults().transient(
+            TransientKind::ShuffleFetch,
+            self.meta.id,
+            part,
+        );
+        if t.any() {
+            for _ in 0..t.retries {
+                tc.add_disk_read(local);
+                tc.add_net(bytes - local);
+            }
+            tc.add_stall_micros(t.backoff_micros);
+            if t.escalated {
+                tc.add_disk_read(local);
+                tc.add_net(bytes - local);
+            }
+            self.ctx().metrics().note_recovery(&RecoveryCounters {
+                fetch_retries: t.retries,
+                backoff_micros: t.backoff_micros,
+                ..RecoveryCounters::default()
+            });
+        }
 
         let mut records = 0u64;
         let mut agg: FxHashMap<K, V> = FxHashMap::default();

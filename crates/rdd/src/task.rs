@@ -75,6 +75,12 @@ impl TaskContext {
         self.update(|p| p.work.add_ser(bytes));
     }
 
+    /// Record virtual time the task spent stalled waiting (transient-fetch
+    /// retry backoff), in integer microseconds.
+    pub fn add_stall_micros(&self, micros: u64) {
+        self.update(|p| p.work.add_stall_micros(micros));
+    }
+
     /// Attribute bytes already charged to the physical counters as a
     /// shuffle fetch (local + remote).
     pub fn note_shuffle_read(&self, bytes: u64) {

@@ -32,7 +32,7 @@ fn usage() -> ! {
   yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
                      [--phase2 <paper|opt>] [--nodes N] [--cores C] [--rules MIN_CONF] [--top K]
-                     [--timeline] [--report] [--trace out.json]
+                     [--fault-plan plan.json] [--timeline] [--report] [--trace out.json]
   yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
     );
     exit(2)
@@ -138,8 +138,41 @@ fn yafim_config(support: Support) -> YafimConfig {
     }
 }
 
+/// `--fault-plan FILE` — a JSON fault plan (see `results/*.fault.json` for
+/// examples and `FaultPlan::to_json` for the schema) installed on the
+/// simulated cluster before mining. Seeded and fully deterministic: the same
+/// plan over the same input reproduces results, virtual time and recovery
+/// counters bit-for-bit.
+fn fault_plan() -> Option<yafim::cluster::FaultPlan> {
+    let path = arg("--fault-plan")?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(1)
+        }
+    };
+    let value = match yafim::cluster::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            exit(1)
+        }
+    };
+    match yafim::cluster::FaultPlan::from_json(&value) {
+        Ok(plan) => Some(plan),
+        Err(e) => {
+            eprintln!("{path}: invalid fault plan: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn run_distributed(miner: &str, tx: &[Vec<u32>], support: Support) -> (MinerRun, SimCluster) {
     let c = cluster();
+    if let Some(plan) = fault_plan() {
+        c.faults().set_plan(plan);
+    }
     c.hdfs().put_overwrite("input.dat", to_lines(tx));
     let run = match miner {
         "spark" => Yafim::new(Context::new(c.clone()), yafim_config(support))
