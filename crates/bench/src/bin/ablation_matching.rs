@@ -22,16 +22,21 @@
 //! * stdout + `results/ablation_matching.txt` — human-readable report
 //!   (wall-clock numbers vary run to run; everything else is deterministic);
 //! * `BENCH_phase2.json` — machine-readable: per-pass virtual stats,
-//!   pass-2 wall records/sec, peak cache bytes, pass-2 speedup.
+//!   pass-2 wall records/sec, peak cache bytes, pass-2 speedup;
+//! * a [`RunManifest`] for the regression gate, captured from the
+//!   optimized configuration's accounting run: smoke runs write
+//!   `target/manifests/phase2.smoke.manifest.json` (compared by CI
+//!   against the committed `results/phase2.smoke.manifest.json`), full
+//!   runs write `results/phase2.manifest.json`.
 //!
 //! Usage: `cargo run -p yafim-bench --release --bin ablation_matching
 //! [--scale X] [--smoke]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
+use yafim_bench::{bench_dataset, experiment_cluster, load_dataset, write_manifest};
 use yafim_cluster::json::JsonValue;
-use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_cluster::{ClusterSpec, CostModel, RunManifest, SimCluster, MANIFEST_SCHEMA_VERSION};
 use yafim_core::{
     apriori, Matcher, MinerRun, MrApriori, MrAprioriConfig, MrMatching, Phase2Config,
     SequentialConfig, Support, Yafim, YafimConfig,
@@ -81,8 +86,13 @@ fn miner(c: &SimCluster, support: Support, phase2: Phase2Config, max_passes: usi
 }
 
 /// Deterministic accounting run: full mining, returning the run (virtual
-/// per-pass stats) and the peak cache footprint.
-fn accounting_run(lines: &[String], support: Support, phase2: &Phase2Config) -> (MinerRun, u64) {
+/// per-pass stats), the peak cache footprint, and the cluster (so the last
+/// configuration's metrics can feed the run manifest).
+fn accounting_run(
+    lines: &[String],
+    support: Support,
+    phase2: &Phase2Config,
+) -> (MinerRun, u64, SimCluster) {
     let c = cluster();
     c.hdfs().put_overwrite("q.dat", lines.to_vec());
     let ctx = Context::new(c.clone());
@@ -95,7 +105,7 @@ fn accounting_run(lines: &[String], support: Support, phase2: &Phase2Config) -> 
     )
     .mine("q.dat")
     .expect("dataset written");
-    (run, ctx.cache().stats().peak_bytes)
+    (run, ctx.cache().stats().peak_bytes, c)
 }
 
 /// Median wall-clock seconds of a full `mine` limited to `max_passes`,
@@ -219,12 +229,15 @@ fn main() {
     // identical itemsets, supports and per-pass metadata.
     let reference = apriori(&tx, &SequentialConfig::new(support));
     let mut runs: Vec<ConfigRun> = Vec::new();
+    let mut manifest_cluster: Option<SimCluster> = None;
     for (label, p2) in phase2_configs() {
-        let (run, peak_cache_bytes) = accounting_run(&lines, support, &p2);
+        let (run, peak_cache_bytes, c) = accounting_run(&lines, support, &p2);
         if run.result != reference {
             eprintln!("FAIL: '{label}' diverges from the sequential reference");
             std::process::exit(1);
         }
+        // phase2_configs() ends with the optimized config; keep its cluster.
+        manifest_cluster = Some(c);
         runs.push(ConfigRun {
             label,
             run,
@@ -256,13 +269,52 @@ fn main() {
         }
     }
 
+    // Regression-gate manifest: captured from the optimized configuration's
+    // accounting run (deterministic: virtual time, counters, byte totals).
+    let dataset_doc = JsonValue::object(vec![
+        ("generator", "quest".into()),
+        ("transactions", transactions.into()),
+        ("items", (items as u64).into()),
+        ("support_frac", JsonValue::Number(support_frac)),
+        ("avg_transaction_len", JsonValue::Number(12.0)),
+        ("patterns", 40u64.into()),
+        ("seed", "0xab1a7104".into()),
+        ("smoke", JsonValue::Bool(smoke)),
+    ]);
+    let config_doc = JsonValue::object(vec![
+        ("phase2", "triangle + trie + trim".into()),
+        ("cluster", "4 nodes x 4 cores".into()),
+    ]);
+    let optimized = runs.last().expect("configs swept");
+    let mut manifest = RunManifest::capture(
+        "phase2",
+        "triangle + trie + trim",
+        dataset_doc.clone(),
+        config_doc,
+        manifest_cluster.as_ref().expect("configs swept"),
+    );
+    manifest.push_metric("frequent_itemsets", reference.total() as f64);
+    manifest.push_metric("passes", optimized.run.passes.len() as f64);
+    manifest.push_metric("peak_cache_bytes", optimized.peak_cache_bytes as f64);
+    for p in &optimized.run.passes {
+        manifest.push_metric(format!("pass.{}.virtual_seconds", p.pass), p.seconds);
+        manifest.push_metric(format!("pass.{}.candidates", p.pass), p.candidates as f64);
+        manifest.push_metric(format!("pass.{}.frequent", p.pass), p.frequent as f64);
+    }
+    let manifest_path = if smoke {
+        "target/manifests/phase2.smoke.manifest.json"
+    } else {
+        "results/phase2.manifest.json"
+    };
+    write_manifest(&manifest, manifest_path);
+
     if smoke {
         print!("{report}");
         println!(
             "\n== Ablation 2: YAFIM Phase-II hot path ==\n\
              smoke mode: {} configs byte-identical to the sequential reference \
              on {} QUEST transactions ({} frequent itemsets, {} passes); \
-             skipping wall-clock sweep and result files",
+             wrote {manifest_path}; skipping wall-clock sweep and result files",
             runs.len(),
             tx.len(),
             reference.total(),
@@ -380,6 +432,9 @@ fn main() {
     };
     let json = JsonValue::object(vec![
         ("bench", "phase2".into()),
+        ("schema_version", MANIFEST_SCHEMA_VERSION.into()),
+        ("dataset", dataset_doc),
+        ("config_fingerprint", manifest.fingerprint.as_str().into()),
         ("transactions", tx.len().into()),
         ("items", (items as usize).into()),
         ("frequent_itemsets", reference.total().into()),
@@ -391,5 +446,5 @@ fn main() {
         ("parity", "ok".into()),
     ]);
     std::fs::write("BENCH_phase2.json", format!("{json}\n")).expect("write BENCH_phase2.json");
-    println!("\nwrote results/ablation_matching.txt and BENCH_phase2.json");
+    println!("\nwrote results/ablation_matching.txt, {manifest_path} and BENCH_phase2.json");
 }

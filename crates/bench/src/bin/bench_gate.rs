@@ -1,0 +1,456 @@
+//! Bench-regression gate: compare two [`RunManifest`]s metric by metric.
+//!
+//! The gate is the machine half of the observability story: every bench
+//! binary emits a versioned manifest whose `metrics` map holds only
+//! deterministic quantities (virtual seconds, critical-path buckets,
+//! registry counters, byte totals — never wall-clock). CI re-runs the
+//! smoke benches, then gates the fresh manifests against the committed
+//! baselines in `results/`; any metric outside its tolerance band fails
+//! the build.
+//!
+//! Modes:
+//!
+//! * `bench_gate --baseline FILE --candidate FILE [--tolerance FRAC]
+//!   [--metric-tolerance NAME=FRAC]...` — compare. `NAME` may end in `*`
+//!   for a prefix band (e.g. `--metric-tolerance 'hist.*=0.05'`); the
+//!   longest matching rule wins, exact names beat prefixes.
+//! * `bench_gate --self-test` — plant a 50 % regression in a synthetic
+//!   manifest pair and **exit non-zero** when the gate (correctly)
+//!   catches it. CI asserts the non-zero exit, so a gate that has gone
+//!   blind fails the build by exiting zero here.
+//! * `bench_gate --validate FILE...` — parse each JSON document and
+//!   round-trip it (`parse → emit → parse`); files carrying both a
+//!   `schema_version` and a `metrics` map must also decode as manifests.
+//!   Used by CI to keep
+//!   every emitted trace/manifest machine-readable.
+//!
+//! Exit codes: `0` ok, `1` regression (or validation failure), `2` usage
+//! error or incompatible manifests (schema version, bench name, engine or
+//! dataset/config fingerprint mismatch — refusing to compare beats
+//! comparing the wrong experiments).
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use yafim_cluster::json::{self, JsonValue};
+use yafim_cluster::{RunManifest, MANIFEST_SCHEMA_VERSION};
+
+/// Absolute slack added to every band so a zero baseline tolerates only
+/// genuinely negligible drift.
+const ABS_EPSILON: f64 = 1e-9;
+
+/// Default relative band. Manifest metrics are deterministic, so the
+/// default is tight; loosen per metric where a bench has a documented
+/// source of drift.
+const DEFAULT_TOLERANCE: f64 = 1e-6;
+
+struct Tolerances {
+    default: f64,
+    /// `(pattern, band)`; a pattern ending in `*` matches by prefix.
+    rules: Vec<(String, f64)>,
+}
+
+impl Tolerances {
+    fn band_for(&self, metric: &str) -> f64 {
+        let mut best: Option<(usize, bool, f64)> = None; // (specificity, exact, band)
+        for (pat, band) in &self.rules {
+            let (hit, exact, len) = match pat.strip_suffix('*') {
+                Some(prefix) => (metric.starts_with(prefix), false, prefix.len()),
+                None => (metric == pat, true, pat.len()),
+            };
+            if hit && best.is_none_or(|(l, e, _)| (len, exact) > (l, e)) {
+                best = Some((len, exact, *band));
+            }
+        }
+        best.map_or(self.default, |(_, _, b)| b)
+    }
+}
+
+enum Failure {
+    MissingInCandidate(String, f64),
+    MissingInBaseline(String, f64),
+    Drift {
+        metric: String,
+        baseline: f64,
+        candidate: f64,
+        band: f64,
+    },
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::MissingInCandidate(m, b) => {
+                write!(
+                    f,
+                    "{m}: present in baseline ({b}) but missing from candidate"
+                )
+            }
+            Failure::MissingInBaseline(m, c) => {
+                write!(
+                    f,
+                    "{m}: present in candidate ({c}) but not in baseline (refresh the baseline)"
+                )
+            }
+            Failure::Drift {
+                metric,
+                baseline,
+                candidate,
+                band,
+            } => {
+                let denom = baseline.abs().max(candidate.abs()).max(ABS_EPSILON);
+                write!(
+                    f,
+                    "{metric}: baseline {baseline} -> candidate {candidate} \
+                     ({:+.4}% , band {:.4}%)",
+                    (candidate - baseline) / denom * 100.0,
+                    band * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// Refuse to compare manifests describing different experiments.
+fn check_compatible(base: &RunManifest, cand: &RunManifest) -> Result<(), String> {
+    if base.schema_version != cand.schema_version {
+        return Err(format!(
+            "schema_version mismatch: baseline v{} vs candidate v{} (gate speaks v{})",
+            base.schema_version, cand.schema_version, MANIFEST_SCHEMA_VERSION
+        ));
+    }
+    if base.bench != cand.bench {
+        return Err(format!(
+            "bench mismatch: baseline '{}' vs candidate '{}'",
+            base.bench, cand.bench
+        ));
+    }
+    if base.engine != cand.engine {
+        return Err(format!(
+            "engine mismatch: baseline '{}' vs candidate '{}'",
+            base.engine, cand.engine
+        ));
+    }
+    if base.fingerprint != cand.fingerprint {
+        return Err(format!(
+            "dataset/config fingerprint mismatch: baseline {} vs candidate {} \
+             (different experiment parameters — refresh the baseline instead)",
+            base.fingerprint, cand.fingerprint
+        ));
+    }
+    Ok(())
+}
+
+/// Compare every metric in either manifest against its tolerance band.
+fn compare(base: &RunManifest, cand: &RunManifest, tol: &Tolerances) -> Vec<Failure> {
+    let names: BTreeSet<&String> = base.metrics.keys().chain(cand.metrics.keys()).collect();
+    let mut failures = Vec::new();
+    for name in names {
+        match (base.metrics.get(name), cand.metrics.get(name)) {
+            (Some(b), None) => failures.push(Failure::MissingInCandidate(name.clone(), *b)),
+            (None, Some(c)) => failures.push(Failure::MissingInBaseline(name.clone(), *c)),
+            (Some(b), Some(c)) => {
+                let band = tol.band_for(name);
+                if (c - b).abs() > band * b.abs().max(c.abs()) + ABS_EPSILON {
+                    failures.push(Failure::Drift {
+                        metric: name.clone(),
+                        baseline: *b,
+                        candidate: *c,
+                        band,
+                    });
+                }
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        }
+    }
+    failures
+}
+
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    RunManifest::from_json(&value).map_err(|e| format!("{path}: {e}"))
+}
+
+fn gate(baseline_path: &str, candidate_path: &str, tol: &Tolerances) -> Result<ExitCode, String> {
+    let base = load_manifest(baseline_path)?;
+    let cand = load_manifest(candidate_path)?;
+    check_compatible(&base, &cand)?;
+    let failures = compare(&base, &cand, tol);
+    if failures.is_empty() {
+        println!(
+            "gate: OK — bench '{}' ({}), {} metrics within tolerance",
+            base.bench,
+            base.engine,
+            base.metrics.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "gate: REGRESSION — bench '{}' ({}), {} of {} metrics outside tolerance:",
+            base.bench,
+            base.engine,
+            failures.len(),
+            base.metrics.len().max(cand.metrics.len())
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
+/// A synthetic manifest pair for `--self-test`.
+fn toy_manifest() -> RunManifest {
+    let dataset = JsonValue::object(vec![("name", "self-test".into())]);
+    let config = JsonValue::object(vec![("mode", "toy".into())]);
+    let fingerprint = RunManifest::fingerprint_of(&dataset, &config);
+    let mut metrics = std::collections::BTreeMap::new();
+    metrics.insert("virtual_seconds".to_string(), 10.0);
+    metrics.insert("bucket.compute".to_string(), 7.0);
+    metrics.insert("bucket.shuffle_read".to_string(), 3.0);
+    metrics.insert("counter.executor.tasks".to_string(), 64.0);
+    RunManifest {
+        schema_version: MANIFEST_SCHEMA_VERSION,
+        bench: "self-test".to_string(),
+        engine: "toy".to_string(),
+        dataset,
+        config,
+        fingerprint,
+        metrics,
+        detail: JsonValue::Null,
+    }
+}
+
+/// Prove the gate still bites: identical manifests must pass, a planted
+/// 50 % regression must fail, and a fingerprint mismatch must be refused.
+/// Exits non-zero exactly when all three hold (CI asserts the non-zero
+/// exit).
+fn self_test(tol: &Tolerances) -> ExitCode {
+    let base = toy_manifest();
+
+    if !compare(&base, &base.clone(), tol).is_empty() {
+        eprintln!("self-test BROKEN: identical manifests compared unequal");
+        return ExitCode::SUCCESS; // zero exit -> CI's `!` assertion fails
+    }
+    println!("self-test: identical manifests compare clean");
+
+    let mut slow = base.clone();
+    slow.metrics.insert("virtual_seconds".to_string(), 15.0);
+    let failures = compare(&base, &slow, tol);
+    if failures.is_empty() {
+        eprintln!("self-test BROKEN: planted 50% regression went undetected");
+        return ExitCode::SUCCESS;
+    }
+    println!("self-test: planted 50% regression detected:");
+    for f in &failures {
+        println!("  {f}");
+    }
+
+    let mut other = base.clone();
+    other.fingerprint = "0000000000000000".to_string();
+    if check_compatible(&base, &other).is_ok() {
+        eprintln!("self-test BROKEN: fingerprint mismatch was not refused");
+        return ExitCode::SUCCESS;
+    }
+    println!("self-test: fingerprint mismatch refused");
+
+    println!("self-test: gate is healthy — exiting non-zero as designed");
+    ExitCode::from(1)
+}
+
+/// Parse + round-trip every file; manifests must also decode.
+fn validate(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: bench_gate --validate FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        let verdict = (|| -> Result<&'static str, String> {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let value = json::parse(&text).map_err(|e| e.to_string())?;
+            let reparsed =
+                json::parse(&value.to_string()).map_err(|e| format!("round-trip re-parse: {e}"))?;
+            if reparsed != value {
+                return Err("round-trip changed the document".to_string());
+            }
+            // A manifest carries both a schema version and the flat
+            // metrics map; BENCH_*.json files share the version field but
+            // are not manifests.
+            if value.get("schema_version").is_some() && value.get("metrics").is_some() {
+                RunManifest::from_json(&value).map_err(|e| format!("manifest decode: {e}"))?;
+                Ok("manifest ok")
+            } else {
+                Ok("json ok")
+            }
+        })();
+        match verdict {
+            Ok(kind) => println!("validate: {path}: {kind}"),
+            Err(e) => {
+                eprintln!("validate: {path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        println!("validate: all {} files machine-readable", paths.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         bench_gate --baseline FILE --candidate FILE [--tolerance FRAC] \
+         [--metric-tolerance NAME=FRAC]...\n  \
+         bench_gate --self-test\n  \
+         bench_gate --validate FILE..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut tol = Tolerances {
+        default: DEFAULT_TOLERANCE,
+        rules: Vec::new(),
+    };
+    let mut baseline: Option<String> = None;
+    let mut candidate: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--self-test" => return self_test(&tol),
+            "--validate" => return validate(&args[i + 1..]),
+            "--baseline" | "--candidate" | "--tolerance" | "--metric-tolerance" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{} needs a value", args[i]);
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--baseline" => baseline = Some(value.clone()),
+                    "--candidate" => candidate = Some(value.clone()),
+                    "--tolerance" => match value.parse::<f64>() {
+                        Ok(f) if f >= 0.0 => tol.default = f,
+                        _ => {
+                            eprintln!("--tolerance wants a non-negative fraction, got '{value}'");
+                            return usage();
+                        }
+                    },
+                    "--metric-tolerance" => {
+                        let Some((name, band)) = value.split_once('=') else {
+                            eprintln!("--metric-tolerance wants NAME=FRAC, got '{value}'");
+                            return usage();
+                        };
+                        match band.parse::<f64>() {
+                            Ok(f) if f >= 0.0 => tol.rules.push((name.to_string(), f)),
+                            _ => {
+                                eprintln!("bad band in '{value}'");
+                                return usage();
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let (Some(base), Some(cand)) = (baseline, candidate) else {
+        return usage();
+    };
+    match gate(&base, &cand, &tol) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("gate: INCOMPATIBLE: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_manifests_pass() {
+        let tol = Tolerances {
+            default: DEFAULT_TOLERANCE,
+            rules: vec![],
+        };
+        let m = toy_manifest();
+        assert!(compare(&m, &m.clone(), &tol).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_band_fails_and_within_band_passes() {
+        let tol = Tolerances {
+            default: 0.05,
+            rules: vec![],
+        };
+        let base = toy_manifest();
+        let mut cand = base.clone();
+        cand.metrics.insert("virtual_seconds".into(), 10.4); // +4% < 5%
+        assert!(compare(&base, &cand, &tol).is_empty());
+        cand.metrics.insert("virtual_seconds".into(), 11.0); // +10% > 5%
+        assert_eq!(compare(&base, &cand, &tol).len(), 1);
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_fail() {
+        let tol = Tolerances {
+            default: DEFAULT_TOLERANCE,
+            rules: vec![],
+        };
+        let base = toy_manifest();
+        let mut cand = base.clone();
+        cand.metrics.remove("bucket.compute");
+        cand.metrics.insert("counter.new".into(), 1.0);
+        assert_eq!(compare(&base, &cand, &tol).len(), 2);
+    }
+
+    #[test]
+    fn per_metric_band_overrides_default_and_exact_beats_prefix() {
+        let tol = Tolerances {
+            default: DEFAULT_TOLERANCE,
+            rules: vec![
+                ("bucket.*".to_string(), 0.5),
+                ("bucket.compute".to_string(), 0.0),
+            ],
+        };
+        assert_eq!(tol.band_for("bucket.shuffle_read"), 0.5);
+        assert_eq!(tol.band_for("bucket.compute"), 0.0);
+        assert_eq!(tol.band_for("virtual_seconds"), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn incompatible_fingerprints_are_refused() {
+        let base = toy_manifest();
+        let mut other = base.clone();
+        other.fingerprint = "f".repeat(16);
+        assert!(check_compatible(&base, &other).is_err());
+        assert!(check_compatible(&base, &base.clone()).is_ok());
+    }
+
+    #[test]
+    fn zero_baseline_tolerates_only_epsilon() {
+        let tol = Tolerances {
+            default: 0.05,
+            rules: vec![],
+        };
+        let mut base = toy_manifest();
+        base.metrics.insert("recovery.nodes_lost".into(), 0.0);
+        let mut cand = base.clone();
+        assert!(compare(&base, &cand, &tol).is_empty());
+        cand.metrics.insert("recovery.nodes_lost".into(), 1.0);
+        assert_eq!(compare(&base, &cand, &tol).len(), 1);
+    }
+}

@@ -16,14 +16,19 @@
 //! Output:
 //! * stdout + `results/pipeline.txt` — human-readable report
 //!   (wall-clock numbers vary run to run; everything else is deterministic);
-//! * `BENCH_pipeline.json` — machine-readable, seeds the perf trajectory.
+//! * `BENCH_pipeline.json` — machine-readable, seeds the perf trajectory;
+//! * a [`RunManifest`] for the regression gate: smoke runs write
+//!   `target/manifests/pipeline.smoke.manifest.json` (compared by CI
+//!   against the committed `results/pipeline.smoke.manifest.json`), full
+//!   runs write `results/pipeline.manifest.json`.
 //!
 //! Usage: `cargo run -p yafim-bench --release --bin pipeline [--smoke]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use yafim_bench::write_manifest;
 use yafim_cluster::json::JsonValue;
-use yafim_cluster::{ClusterSpec, CostModel, SimCluster};
+use yafim_cluster::{ClusterSpec, CostModel, RunManifest, SimCluster, MANIFEST_SCHEMA_VERSION};
 use yafim_rdd::{Context, ExecMode, Rdd, RddConfig};
 
 /// splitmix64 — deterministic synthetic data without a rand crate.
@@ -93,7 +98,7 @@ fn run_mode(
     data: &[String],
     parts: usize,
     samples: usize,
-) -> (ModeRun, Vec<String>) {
+) -> (ModeRun, Vec<String>, Context) {
     // Accounting + parity pass (fresh context, deterministic).
     let c = ctx_with(mode);
     let collected = chain(&c, data, parts).collect();
@@ -132,6 +137,7 @@ fn run_mode(
             total_bytes,
         },
         collected,
+        c,
     )
 }
 
@@ -149,14 +155,15 @@ fn main() {
     let parts = 16;
     let data = synthetic_lines(lines, words, 7);
 
-    let (eager, eager_out) = run_mode(
+    let (eager, eager_out, _eager_ctx) = run_mode(
         ExecMode::Eager,
         "eager (per-op buffers)",
         &data,
         parts,
         samples,
     );
-    let (fused, fused_out) = run_mode(ExecMode::Fused, "fused (pipelined)", &data, parts, samples);
+    let (fused, fused_out, fused_ctx) =
+        run_mode(ExecMode::Fused, "fused (pipelined)", &data, parts, samples);
 
     // The whole point of keeping the eager evaluator: it is the reference.
     assert_eq!(
@@ -206,8 +213,50 @@ fn main() {
     );
     print!("{report}");
 
+    // Regression-gate manifest: captured from the fused accounting context
+    // (deterministic: the parity `collect` pass, no wall-clock numbers).
+    let dataset_doc = JsonValue::object(vec![
+        ("name", "synthetic-lines".into()),
+        ("lines", lines.into()),
+        ("words_per_line", words.into()),
+        ("partitions", parts.into()),
+        ("seed", 7u64.into()),
+        ("smoke", JsonValue::Bool(smoke)),
+    ]);
+    let config_doc = JsonValue::object(vec![
+        ("chain", "flatMap -> map -> filter".into()),
+        ("cluster", "4 nodes x 4 cores".into()),
+        ("engine", "fused".into()),
+        ("reference", "eager".into()),
+    ]);
+    let mut manifest = RunManifest::capture(
+        "pipeline",
+        "fused",
+        dataset_doc.clone(),
+        config_doc,
+        fused_ctx.cluster(),
+    );
+    manifest.push_metric("pipeline.records", fused.pipeline_records as f64);
+    manifest.push_metric("pipeline.output_records", fused_out.len() as f64);
+    manifest.push_metric(
+        "fused.peak_stage_bytes_materialized",
+        fused.peak_stage_bytes as f64,
+    );
+    manifest.push_metric("fused.total_bytes_materialized", fused.total_bytes as f64);
+    manifest.push_metric(
+        "eager.peak_stage_bytes_materialized",
+        eager.peak_stage_bytes as f64,
+    );
+    manifest.push_metric("eager.total_bytes_materialized", eager.total_bytes as f64);
+    let manifest_path = if smoke {
+        "target/manifests/pipeline.smoke.manifest.json"
+    } else {
+        "results/pipeline.manifest.json"
+    };
+    write_manifest(&manifest, manifest_path);
+
     if smoke {
-        println!("smoke mode: parity verified, skipping result files");
+        println!("smoke mode: parity verified; wrote {manifest_path}");
         return;
     }
 
@@ -223,6 +272,9 @@ fn main() {
     };
     let json = JsonValue::object(vec![
         ("bench", "pipeline".into()),
+        ("schema_version", MANIFEST_SCHEMA_VERSION.into()),
+        ("dataset", dataset_doc),
+        ("config_fingerprint", manifest.fingerprint.as_str().into()),
         ("chain", "flatMap -> map -> filter".into()),
         ("source_records", data.len().into()),
         ("pipeline_records", fused.pipeline_records.into()),
@@ -233,5 +285,5 @@ fn main() {
         ("parity", "ok".into()),
     ]);
     std::fs::write("BENCH_pipeline.json", format!("{json}\n")).expect("write BENCH_pipeline.json");
-    println!("wrote results/pipeline.txt and BENCH_pipeline.json");
+    println!("wrote results/pipeline.txt, {manifest_path} and BENCH_pipeline.json");
 }

@@ -134,6 +134,21 @@ pub fn print_pass_table(title: &str, yafim: &MinerRun, mr: &MinerRun) {
     );
 }
 
+/// Write a [`RunManifest`] as a JSON document at `path`, creating parent
+/// directories as needed. Smoke runs write under `target/manifests/` (the
+/// regression gate compares them against the committed baselines in
+/// `results/`); full runs write next to the text reports in `results/`.
+pub fn write_manifest(manifest: &yafim_cluster::RunManifest, path: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("create {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(path, format!("{}\n", manifest.to_json()))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
 /// Assert both miners found identical itemsets — the paper's correctness
 /// check ("all the experimental results of YAFIM are exactly same as
 /// MRApriori"). Panics with a diagnostic on mismatch.

@@ -31,18 +31,27 @@
 //! * [`hdfs`] — simulated HDFS with real file contents, blocks and replicas.
 //! * [`metrics`] — the virtual clock, counters and the span log (job →
 //!   stage → task) shared by engines.
+//! * [`registry`] — typed named metrics (counters, gauges, log-bucketed
+//!   histograms) fed by the engines' hot paths.
+//! * [`critical`] — critical-path analysis: decompose the makespan into
+//!   exhaustive attribution buckets plus per-stage skew metrics.
+//! * [`manifest`] — versioned machine-readable run manifests for the
+//!   bench-regression gate.
 //! * [`trace`] — Chrome trace event exporter (Perfetto / chrome://tracing).
 //! * [`report`] — Spark-UI-style per-stage and per-iteration text tables.
 //! * [`pool`] — the real worker thread pool used to execute tasks.
 
 pub mod bytes;
 pub mod costmodel;
+pub mod critical;
 pub mod fault;
 pub mod hash;
 pub mod hdfs;
 pub mod json;
+pub mod manifest;
 pub mod metrics;
 pub mod pool;
+pub mod registry;
 pub mod report;
 pub mod sched;
 pub mod spec;
@@ -53,6 +62,7 @@ pub mod work;
 
 pub use bytes::{slice_bytes, ByteSize};
 pub use costmodel::CostModel;
+pub use critical::{critical_path, CriticalPathBuckets, CriticalPathReport, StageSkew};
 pub use fault::{
     FaultController, FaultError, FaultPlan, FaultySchedule, RecoveryCounters, TransientKind,
     TransientOutcome, DEFAULT_BLACKLIST_AFTER, DEFAULT_FETCH_BACKOFF_BASE, DEFAULT_FETCH_RETRIES,
@@ -61,11 +71,15 @@ pub use fault::{
 };
 pub use hash::{bucket_of, fx_hash64, FxHashMap, FxHashSet, FxHasher};
 pub use hdfs::{BlockInfo, CheckpointBlock, DfsError, DfsFile, SimHdfs, Split};
+pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{
     DropCounts, Event, EventKind, JobSpan, Metrics, MetricsCapacity, MetricsSnapshot,
     StageExecution, StageSpan, TaskExecution, TaskSpan,
 };
 pub use pool::ThreadPool;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
 pub use report::{full_report, iteration_report, stage_report};
 pub use sched::{
     DetailedSchedule, HeartbeatMonitor, ScheduleOutcome, TaskPlacement, TaskSpec, VirtualScheduler,
@@ -93,6 +107,7 @@ struct ClusterInner {
     cost: CostModel,
     hdfs: SimHdfs,
     metrics: Metrics,
+    registry: MetricsRegistry,
     pool: ThreadPool,
     faults: FaultController,
 }
@@ -119,6 +134,7 @@ impl SimCluster {
                 cost,
                 hdfs,
                 metrics: Metrics::new(),
+                registry: MetricsRegistry::new(),
                 pool: ThreadPool::new(threads.max(1)),
                 faults: FaultController::new(),
             }),
@@ -149,6 +165,12 @@ impl SimCluster {
     /// Shared metrics sink (virtual clock, counters, event log).
     pub fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// Typed metrics registry (named counters, gauges, histograms) fed by
+    /// the engines' executor, shuffle, cache and fault paths.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
     }
 
     /// The real thread pool tasks execute on.

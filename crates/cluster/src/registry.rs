@@ -1,0 +1,394 @@
+//! Typed metrics registry: named counters, gauges and log-bucketed
+//! histograms shared by the engines.
+//!
+//! The span log ([`crate::metrics`]) answers *when* things happened; the
+//! registry answers *how much* of each thing happened, cheaply enough to be
+//! fed from hot paths. No external deps — snapshots serialize through the
+//! same hand-rolled [`JsonValue`] as the trace exporter, and everything is
+//! deterministic: counters are order-independent sums, histogram buckets
+//! are computed from the float's exponent bits (no libm), and snapshots
+//! emit in sorted name order.
+//!
+//! Handles are cheap `Arc` clones; `counter`/`gauge`/`histogram` get or
+//! create by name and panic if the name is already registered with a
+//! different type (a programming error worth failing loudly on).
+
+use crate::json::JsonValue;
+use crate::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn inc(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins value (stored as f64 bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Power-of-two-bucketed distribution of f64 observations.
+#[derive(Clone)]
+pub struct Histogram {
+    state: Arc<Mutex<HistState>>,
+}
+
+#[derive(Default)]
+struct HistState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// floor(log2(value)) → observation count.
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// `floor(log2(v))` for positive `v`, read off the exponent bits so the
+/// bucketing is bit-deterministic across platforms (no libm). Non-positive
+/// and subnormal values land in the lowest bucket.
+fn log2_floor(v: f64) -> i32 {
+    if v.is_nan() || v < f64::MIN_POSITIVE {
+        return -1023;
+    }
+    ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let mut g = self.state.lock();
+        if g.count == 0 {
+            g.min = v;
+            g.max = v;
+        } else {
+            if v < g.min {
+                g.min = v;
+            }
+            if v > g.max {
+                g.max = v;
+            }
+        }
+        g.count += 1;
+        g.sum += v;
+        *g.buckets.entry(log2_floor(v)).or_insert(0) += 1;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.state.lock().count
+    }
+}
+
+/// Read-only copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// `(floor(log2(value)), count)` pairs, ascending — a value `v` with
+    /// exponent `e` satisfies `2^e <= v < 2^(e+1)`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// JSON object (bucket keys are the stringified exponents).
+    pub fn to_json(&self) -> JsonValue {
+        let buckets = JsonValue::Object(
+            self.buckets
+                .iter()
+                .map(|(e, n)| (e.to_string(), JsonValue::from(*n)))
+                .collect(),
+        );
+        JsonValue::object(vec![
+            ("count", JsonValue::from(self.count)),
+            ("sum", JsonValue::from(self.sum)),
+            ("min", JsonValue::from(self.min)),
+            ("max", JsonValue::from(self.max)),
+            ("buckets", buckets),
+        ])
+    }
+}
+
+/// Read-only copy of the whole registry, in sorted name order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// JSON object `{counters, gauges, histograms}` (deterministic order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "counters",
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Mutex<HistState>>>,
+}
+
+/// The registry. Cheap to clone; all clones share the same metrics.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn assert_untyped(inner: &RegistryInner, name: &str, want: &str) {
+        let taken = if inner.counters.contains_key(name) {
+            "counter"
+        } else if inner.gauges.contains_key(name) {
+            "gauge"
+        } else if inner.histograms.contains_key(name) {
+            "histogram"
+        } else {
+            return;
+        };
+        if taken != want {
+            panic!("metric '{name}' is registered as a {taken}, requested as a {want}");
+        }
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is registered
+    /// with a different type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock();
+        Self::assert_untyped(&g, name, "counter");
+        let cell = g
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter { cell }
+    }
+
+    /// Get or create the gauge `name`. Panics if `name` is registered with
+    /// a different type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock();
+        Self::assert_untyped(&g, name, "gauge");
+        let bits = g
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())))
+            .clone();
+        Gauge { bits }
+    }
+
+    /// Get or create the histogram `name`. Panics if `name` is registered
+    /// with a different type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.inner.lock();
+        Self::assert_untyped(&g, name, "histogram");
+        let state = g
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(HistState::default())))
+            .clone();
+        Histogram { state }
+    }
+
+    /// Copy every metric's current value.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let g = self.inner.lock();
+        RegistrySnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let h = v.lock();
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            buckets: h.buckets.iter().map(|(e, n)| (*e, *n)).collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop every metric (for reusing a cluster across runs). Outstanding
+    /// handles keep updating their detached cells.
+    pub fn reset(&self) {
+        *self.inner.lock() = RegistryInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("tasks");
+        let b = r.counter("tasks");
+        a.inc(2);
+        b.inc(3);
+        assert_eq!(r.counter("tasks").get(), 5);
+        assert_eq!(r.snapshot().counters["tasks"], 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = MetricsRegistry::new();
+        r.gauge("cache.bytes").set(10.5);
+        r.gauge("cache.bytes").set(7.25);
+        assert_eq!(r.snapshot().gauges["cache.bytes"], 7.25);
+    }
+
+    #[test]
+    fn histogram_buckets_by_exponent() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("task_seconds");
+        h.observe(1.5); // exp 0
+        h.observe(1.0); // exp 0
+        h.observe(4.0); // exp 2
+        h.observe(0.75); // exp -1
+        h.observe(0.0); // lowest bucket
+        let s = &r.snapshot().histograms["task_seconds"];
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(
+            s.buckets,
+            vec![(-1023, 1), (-1, 1), (0, 2), (2, 1)],
+            "{s:?}"
+        );
+        assert!((s.sum - 7.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_floor_matches_libm_on_normals() {
+        for v in [1e-9, 0.1, 0.5, 1.0, 1.999, 2.0, 3.0, 1024.0, 1e12] {
+            assert_eq!(log2_floor(v), v.log2().floor() as i32, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn type_conflicts_panic() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let r = MetricsRegistry::new();
+        r.counter("a.count").inc(7);
+        r.gauge("b.level").set(2.5);
+        r.histogram("c.dist").observe(3.0);
+        let json = r.snapshot().to_json();
+        let back = crate::json::parse(&json.to_string()).expect("parses");
+        assert_eq!(
+            back.get("counters")
+                .and_then(|c| c.get("a.count"))
+                .and_then(JsonValue::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            back.get("histograms")
+                .and_then(|h| h.get("c.dist"))
+                .and_then(|d| d.get("count"))
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn reset_clears_metrics() {
+        let r = MetricsRegistry::new();
+        r.counter("n").inc(1);
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+    }
+}

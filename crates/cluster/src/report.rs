@@ -207,10 +207,14 @@ pub fn full_report(metrics: &Metrics) -> String {
     if dropped.total() > 0 {
         let _ = writeln!(
             out,
-            "WARNING: in-memory logs overflowed; oldest entries were dropped \
-             (events: {}, jobs: {}, stages: {}, tasks: {}). Tables below are \
-             incomplete; raise MetricsCapacity to retain more.",
-            dropped.events, dropped.jobs, dropped.stages, dropped.tasks
+            "WARNING: {} spans dropped, timings below are partial \
+             (events: {}, jobs: {}, stages: {}, tasks: {}); \
+             raise MetricsCapacity to retain more.",
+            dropped.total(),
+            dropped.events,
+            dropped.jobs,
+            dropped.stages,
+            dropped.tasks
         );
         out.push('\n');
     }
@@ -426,6 +430,10 @@ mod tests {
         }
         let report = full_report(&m);
         assert!(report.contains("WARNING"), "{report}");
+        assert!(
+            report.contains("spans dropped, timings below are partial"),
+            "{report}"
+        );
         assert!(report.contains("tasks: 2"), "{report}");
     }
 

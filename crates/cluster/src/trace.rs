@@ -381,6 +381,53 @@ mod tests {
     }
 
     #[test]
+    fn arbitrary_stage_labels_survive_json_escaping() {
+        // Labels flow user/engine strings straight into event names; the
+        // exporter must escape them so the document still parses and the
+        // label round-trips byte-for-byte.
+        let hostile = "quote:\" backslash:\\ newline:\n tab:\t ctrl:\u{1} unicode:\u{2603}";
+        let m = Metrics::new();
+        let job = m.begin_job(hostile);
+        m.record_stage(StageExecution {
+            label: hostile.into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![TaskExecution {
+                partition: 0,
+                node: NodeId(0),
+                core: 0,
+                start: SimDuration::ZERO,
+                duration: SimDuration::from_secs(1.0),
+                profile: TaskProfile::new(),
+            }],
+        });
+        m.end_job(job);
+        let spec = ClusterSpec::new(2, 2, 1 << 30);
+        let text = chrome_trace(&m, &spec);
+        let doc = json::parse(&text).expect("hostile labels must not break the document");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let stage = events
+            .iter()
+            .find(|e| e.get("cat").and_then(JsonValue::as_str) == Some("stage"))
+            .expect("stage event present");
+        let name = stage.get("name").unwrap().as_str().unwrap();
+        assert!(
+            name.ends_with(hostile),
+            "label did not round-trip: {name:?}"
+        );
+    }
+
+    #[test]
+    fn identical_runs_export_byte_identical_traces() {
+        let spec = ClusterSpec::new(2, 2, 1 << 30);
+        let a = chrome_trace(&sample_metrics(), &spec);
+        let b = chrome_trace(&sample_metrics(), &spec);
+        assert_eq!(a, b, "trace export must be deterministic");
+    }
+
+    #[test]
     fn drop_counters_are_reported_in_other_data() {
         let m = sample_metrics();
         let spec = ClusterSpec::new(2, 2, 1 << 30);

@@ -69,9 +69,6 @@ pub(crate) struct CtxInner {
     pub(crate) shuffles: ShuffleRegistry,
     pub(crate) config: RddConfig,
     next_id: AtomicU64,
-    /// Total broadcast bytes shipped so far — the basis for the re-fetch
-    /// charge when a node (and its torrent blocks) is lost.
-    broadcast_total: AtomicU64,
 }
 
 /// Driver handle: creates RDDs and broadcast variables over one cluster.
@@ -100,7 +97,6 @@ impl Context {
                 shuffles: ShuffleRegistry::new(),
                 config,
                 next_id: AtomicU64::new(1),
-                broadcast_total: AtomicU64::new(0),
                 cluster,
             }),
         }
@@ -139,9 +135,17 @@ impl Context {
         self.inner.config.exec_mode
     }
 
-    /// Total bytes shipped through [`Context::broadcast`] so far.
+    /// Total bytes shipped through [`Context::broadcast`] so far — the
+    /// basis for the re-fetch charge when a node (and its torrent blocks)
+    /// is lost. Kept in the cluster's typed registry rather than an ad-hoc
+    /// field, so manifests and reports see the same number the fault path
+    /// uses.
     pub(crate) fn broadcast_bytes(&self) -> u64 {
-        self.inner.broadcast_total.load(Ordering::Relaxed)
+        self.inner
+            .cluster
+            .registry()
+            .counter("broadcast.ship_bytes")
+            .get()
     }
 
     /// Distribute an in-memory collection as an RDD with
@@ -205,9 +209,11 @@ impl Context {
             EventKind::Broadcast,
             format!("broadcast {bytes}B"),
         );
-        self.inner
-            .broadcast_total
-            .fetch_add(bytes, Ordering::Relaxed);
+        cluster
+            .registry()
+            .counter("broadcast.ship_bytes")
+            .inc(bytes);
+        cluster.registry().counter("broadcast.variables").inc(1);
         Broadcast {
             value: Arc::new(value),
             bytes,

@@ -159,6 +159,8 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
         })
         .collect();
 
+    feed_registry(ctx, &tasks, &recovery);
+
     cluster.metrics().record_stage_with_recovery(
         StageExecution {
             label,
@@ -172,6 +174,55 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
     );
 
     Ok((outcomes.into_iter().map(|(r, _)| r).collect(), executed_on))
+}
+
+/// Feed the cluster's typed metrics registry from one finished stage: task
+/// counts and duration/wait distributions, attribution byte counters from
+/// the merged profile, recovery counters, and current cache occupancy.
+/// Every metric is created even when zero, so manifests carry a stable name
+/// set; histograms are observed in partition order on the driver thread, so
+/// their float sums are deterministic.
+fn feed_registry(ctx: &Context, tasks: &[TaskExecution], recovery: &RecoveryCounters) {
+    let registry = ctx.cluster().registry();
+    registry.counter("executor.stages").inc(1);
+    registry.counter("executor.tasks").inc(tasks.len() as u64);
+    let durations = registry.histogram("executor.task_seconds");
+    let waits = registry.histogram("executor.queue_wait_seconds");
+    let mut merged = TaskProfile::new();
+    for t in tasks {
+        durations.observe(t.duration.as_secs());
+        waits.observe(t.start.as_secs());
+        merged.merge(&t.profile);
+    }
+    for (name, v) in [
+        ("shuffle.read_bytes", merged.shuffle_read_bytes),
+        ("shuffle.write_bytes", merged.shuffle_write_bytes),
+        ("broadcast.read_bytes", merged.broadcast_read_bytes),
+        ("cache.hits", merged.cache_hits),
+        ("cache.misses", merged.cache_misses),
+        ("executor.records_read", merged.records_read),
+        ("executor.records_written", merged.records_written),
+        ("executor.bytes_materialized", merged.bytes_materialized),
+        ("fault.task_failures", recovery.task_failures),
+        ("fault.task_retries", recovery.task_retries),
+        ("fault.speculative_launched", recovery.speculative_launched),
+        ("fault.speculative_wins", recovery.speculative_wins),
+    ] {
+        registry.counter(name).inc(v);
+    }
+    let stats = ctx.cache().stats();
+    registry
+        .gauge("cache.used_bytes")
+        .set(stats.used_bytes as f64);
+    registry
+        .gauge("cache.disk_bytes")
+        .set(stats.disk_bytes as f64);
+    registry
+        .gauge("cache.peak_bytes")
+        .set(stats.peak_bytes as f64);
+    registry
+        .gauge("cache.entries")
+        .set((stats.entries + stats.disk_entries) as f64);
 }
 
 /// Apply the data-loss side effects of every planned node loss whose virtual
@@ -233,6 +284,17 @@ pub(crate) fn apply_node_loss(ctx: &Context, node: NodeId) -> NodeLossReport {
         ),
     );
     metrics.note_recovery(&rec);
+    let registry = ctx.cluster().registry();
+    registry.counter("fault.nodes_lost").inc(1);
+    registry
+        .counter("fault.cached_partitions_dropped")
+        .inc(cached as u64);
+    registry
+        .counter("fault.map_outputs_lost")
+        .inc(map_lost as u64);
+    registry
+        .counter("fault.broadcast_refetch_bytes")
+        .inc(refetch);
     NodeLossReport {
         node,
         cached_partitions_dropped: cached,

@@ -489,6 +489,11 @@ where
                 backoff_micros: t.backoff_micros,
                 ..RecoveryCounters::default()
             });
+            let registry = self.ctx().cluster().registry();
+            registry.counter("shuffle.fetch_retries").inc(t.retries);
+            registry
+                .counter("shuffle.fetch_backoff_micros")
+                .inc(t.backoff_micros);
         }
 
         let mut records = 0u64;

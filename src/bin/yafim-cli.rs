@@ -33,6 +33,7 @@ fn usage() -> ! {
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
                      [--phase2 <paper|opt>] [--nodes N] [--cores C] [--rules MIN_CONF] [--top K]
                      [--fault-plan plan.json] [--timeline] [--report] [--trace out.json]
+                     [--critical-path] [--manifest out.json]
   yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
     );
     exit(2)
@@ -270,6 +271,49 @@ fn cmd_mine() {
             println!("\nwrote Chrome trace to {path} (open in https://ui.perfetto.dev)");
         } else {
             eprintln!("--trace requires a distributed miner");
+        }
+    }
+
+    // `--critical-path` — decompose the virtual makespan into exhaustive
+    // attribution buckets (compute, shuffle, broadcast, faults, scheduler
+    // idle, ...) plus per-stage skew, straight from the span log.
+    if flag("--critical-path") {
+        if let Some(c) = &cluster {
+            let report = yafim::cluster::critical_path(c.metrics(), c.cost());
+            println!("\n{}", report.render());
+        } else {
+            eprintln!("--critical-path requires a distributed miner");
+        }
+    }
+
+    // `--manifest FILE` — write the versioned run manifest (the same
+    // document the bench binaries emit for the regression gate).
+    if let Some(path) = arg("--manifest") {
+        if let Some(c) = &cluster {
+            use yafim::cluster::json::JsonValue;
+            let dataset = JsonValue::object(vec![
+                ("input", input.as_str().into()),
+                ("transactions", tx.len().into()),
+            ]);
+            let config = JsonValue::object(vec![
+                ("miner", miner.as_str().into()),
+                (
+                    "phase2",
+                    arg("--phase2").unwrap_or_else(|| "paper".into()).into(),
+                ),
+                ("nodes", (c.spec().nodes as u64).into()),
+                ("cores_per_node", (c.spec().cores_per_node as u64).into()),
+            ]);
+            let mut manifest =
+                yafim::cluster::RunManifest::capture("yafim-cli mine", &miner, dataset, config, c);
+            manifest.push_metric("frequent_itemsets", result.total() as f64);
+            if let Err(e) = std::fs::write(&path, format!("{}\n", manifest.to_json())) {
+                eprintln!("{path}: {e}");
+                exit(1);
+            }
+            println!("\nwrote run manifest to {path}");
+        } else {
+            eprintln!("--manifest requires a distributed miner");
         }
     }
 }
