@@ -258,6 +258,41 @@ fn self_test(tol: &Tolerances) -> ExitCode {
     ExitCode::from(1)
 }
 
+/// The integrity counters every manifest must carry, with their internal
+/// consistency rules: silent corruption is only ever *observed* at
+/// detection time, so detected == injected; nothing undetected can be
+/// repaired; and every repair went down exactly one repair path.
+fn check_integrity_metrics(m: &RunManifest) -> Result<(), String> {
+    let get = |name: &str| -> Result<f64, String> {
+        m.metrics
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("missing integrity metric '{name}'"))
+    };
+    let injected = get("integrity.corruptions_injected")?;
+    let detected = get("integrity.corruptions_detected")?;
+    let repaired = get("integrity.corruptions_repaired")?;
+    let via = get("integrity.repaired_via_replica")?
+        + get("integrity.repaired_via_recompute")?
+        + get("integrity.repaired_via_resubmit")?;
+    if detected != injected {
+        return Err(format!(
+            "integrity.corruptions_detected ({detected}) != corruptions_injected ({injected})"
+        ));
+    }
+    if repaired > detected {
+        return Err(format!(
+            "integrity.corruptions_repaired ({repaired}) exceeds corruptions_detected ({detected})"
+        ));
+    }
+    if via != repaired {
+        return Err(format!(
+            "integrity repair paths sum to {via} but corruptions_repaired is {repaired}"
+        ));
+    }
+    Ok(())
+}
+
 /// Parse + round-trip every file; manifests must also decode.
 fn validate(paths: &[String]) -> ExitCode {
     if paths.is_empty() {
@@ -278,8 +313,10 @@ fn validate(paths: &[String]) -> ExitCode {
             // metrics map; BENCH_*.json files share the version field but
             // are not manifests.
             if value.get("schema_version").is_some() && value.get("metrics").is_some() {
-                RunManifest::from_json(&value).map_err(|e| format!("manifest decode: {e}"))?;
-                Ok("manifest ok")
+                let manifest =
+                    RunManifest::from_json(&value).map_err(|e| format!("manifest decode: {e}"))?;
+                check_integrity_metrics(&manifest)?;
+                Ok("manifest ok (integrity counters consistent)")
             } else {
                 Ok("json ok")
             }
@@ -438,6 +475,40 @@ mod tests {
         other.fingerprint = "f".repeat(16);
         assert!(check_compatible(&base, &other).is_err());
         assert!(check_compatible(&base, &base.clone()).is_ok());
+    }
+
+    #[test]
+    fn integrity_metrics_must_be_present_and_consistent() {
+        let mut m = toy_manifest();
+        assert!(check_integrity_metrics(&m)
+            .unwrap_err()
+            .contains("missing integrity metric"));
+
+        for (k, v) in [
+            ("integrity.corruptions_injected", 4.0),
+            ("integrity.corruptions_detected", 4.0),
+            ("integrity.corruptions_repaired", 4.0),
+            ("integrity.repaired_via_replica", 1.0),
+            ("integrity.repaired_via_recompute", 1.0),
+            ("integrity.repaired_via_resubmit", 2.0),
+        ] {
+            m.metrics.insert(k.to_string(), v);
+        }
+        assert!(check_integrity_metrics(&m).is_ok());
+
+        m.metrics
+            .insert("integrity.corruptions_detected".into(), 3.0);
+        assert!(check_integrity_metrics(&m)
+            .unwrap_err()
+            .contains("!= corruptions_injected"));
+
+        m.metrics
+            .insert("integrity.corruptions_detected".into(), 4.0);
+        m.metrics
+            .insert("integrity.repaired_via_resubmit".into(), 5.0);
+        assert!(check_integrity_metrics(&m)
+            .unwrap_err()
+            .contains("repair paths sum"));
     }
 
     #[test]

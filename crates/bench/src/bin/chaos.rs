@@ -29,14 +29,15 @@
 
 use std::fmt::Write as _;
 
-use yafim_bench::{bench_dataset, experiment_cluster, load_dataset};
+use yafim_bench::{bench_dataset, experiment_cluster, load_dataset, write_manifest};
+use yafim_cluster::json::JsonValue;
 use yafim_cluster::{
-    full_report, ClusterSpec, EventKind, FaultPlan, NodeId, RecoveryCounters, SimCluster,
-    SimDuration, SimInstant,
+    critical_path, full_report, fx_hash64, ClusterSpec, EventKind, FaultPlan, IntegrityTier,
+    NodeId, RecoveryCounters, RunManifest, SimCluster, SimDuration, SimInstant,
 };
 use yafim_core::{MinerRun, MrApriori, MrAprioriConfig, Yafim, YafimConfig};
 use yafim_data::PaperDataset;
-use yafim_rdd::Context;
+use yafim_rdd::{Context, ExecError};
 
 /// Scenario C checkpoints the working RDD every this many Phase-II passes.
 const CKPT_INTERVAL: usize = 2;
@@ -129,6 +130,7 @@ fn main() {
     }
 
     scenario_c(&mut out, seed, &data);
+    let sweep = scenario_d(&mut out, seed, &data);
     let _ = writeln!(
         out,
         "all fault scenarios returned byte-identical mining results"
@@ -138,6 +140,41 @@ fn main() {
     if !smoke {
         std::fs::write("results/chaos.txt", &out).expect("write results/chaos.txt");
     }
+
+    // Regression-gate manifest: captured from scenario D's representative
+    // run (YAFIM, every tier corrupted at the top sweep rate) plus sweep
+    // totals — all deterministic virtual-time quantities.
+    let dataset_doc = JsonValue::object(vec![
+        ("name", data.name.into()),
+        ("scale", scale.into()),
+        ("support", format!("{:?}", data.support).as_str().into()),
+        ("smoke", JsonValue::Bool(smoke)),
+    ]);
+    let config_doc = JsonValue::object(vec![
+        ("scenario", "D".into()),
+        ("engine", "YAFIM".into()),
+        ("corruption", "shuffle+cache+hdfs".into()),
+        ("rate", CORRUPTION_RATES[CORRUPTION_RATES.len() - 1].into()),
+        ("seed", seed.into()),
+    ]);
+    let mut manifest = RunManifest::capture(
+        "chaos",
+        "yafim",
+        dataset_doc,
+        config_doc,
+        &sweep.representative_cluster,
+    );
+    manifest.push_metric("chaos.itemsets", sweep.representative_itemsets as f64);
+    manifest.push_metric("chaos.sweep_runs", sweep.runs as f64);
+    manifest.push_metric("chaos.sweep_detected", sweep.detected as f64);
+    manifest.push_metric("chaos.sweep_repaired", sweep.repaired as f64);
+    let manifest_path = if smoke {
+        "target/manifests/chaos.smoke.manifest.json"
+    } else {
+        "results/chaos.manifest.json"
+    };
+    write_manifest(&manifest, manifest_path);
+    println!("wrote {manifest_path}");
 }
 
 /// C: lose a node during every Phase-II pass, with checkpointing off vs
@@ -268,6 +305,178 @@ fn scenario_c(out: &mut String, seed: u64, data: &yafim_bench::BenchDataset) {
          grows to {} without checkpointing\n",
         CKPT_INTERVAL + 2,
         depths_off.iter().max().expect("nonempty")
+    );
+}
+
+/// Corruption probabilities scenario D sweeps per tier.
+const CORRUPTION_RATES: [f64; 2] = [0.05, 0.25];
+
+/// What scenario D hands back for the chaos manifest.
+struct SweepSummary {
+    /// Cluster behind the representative run (YAFIM, all tiers corrupted
+    /// at the top rate) — the manifest captures its metrics.
+    representative_cluster: SimCluster,
+    /// Itemsets the representative run mined.
+    representative_itemsets: usize,
+    /// Corrupted runs executed across the sweep.
+    runs: u64,
+    /// Total corruptions detected across the sweep.
+    detected: u64,
+    /// Total corruptions repaired across the sweep.
+    repaired: u64,
+}
+
+/// D: silent-corruption sweep. Each storage tier (shuffle map outputs,
+/// cached partitions, HDFS replicas) is corrupted alone and then combined,
+/// at each rate in [`CORRUPTION_RATES`], on both engines. Every run must
+/// (a) mine byte-identical itemsets to the fault-free baseline, (b) detect
+/// every injected corruption, (c) repair everything it detected, and
+/// (d) keep the critical-path buckets summing to the makespan. A final
+/// poisoned-beyond-repair case must escalate to a typed integrity error
+/// instead of returning anything.
+fn scenario_d(out: &mut String, seed: u64, data: &yafim_bench::BenchDataset) -> SweepSummary {
+    let _ = writeln!(out, "-- D: silent corruption sweep (checksums on) --");
+    let _ = writeln!(
+        out,
+        "{:<11} {:>7} {:>5} | {:>8} {:>8} {:>8} | {:>24} {:>9}",
+        "engine",
+        "tier",
+        "rate",
+        "injected",
+        "detected",
+        "repaired",
+        "paths (repl/rec/resub)",
+        "extra(s)"
+    );
+
+    type TierKnob = fn(FaultPlan, f64) -> FaultPlan;
+    let tiers: [(&str, TierKnob); 4] = [
+        ("shuffle", |p, r| p.corrupt_shuffle(r)),
+        ("cache", |p, r| p.corrupt_cache(r)),
+        ("hdfs", |p, r| p.corrupt_hdfs(r)),
+        ("all", |p, r| {
+            p.corrupt_shuffle(r).corrupt_cache(r).corrupt_hdfs(r)
+        }),
+    ];
+
+    let mut summary = SweepSummary {
+        representative_cluster: experiment_cluster(ClusterSpec::paper()),
+        representative_itemsets: 0,
+        runs: 0,
+        detected: 0,
+        repaired: 0,
+    };
+    for engine in ["YAFIM", "MR-Apriori"] {
+        let (base_run, _) = mine(engine, data, None);
+        for &rate in &CORRUPTION_RATES {
+            for (tier, corrupt) in &tiers {
+                let plan = corrupt(FaultPlan::seeded(seed), rate);
+                let (run, cluster) = mine(engine, data, Some(plan));
+                assert_eq!(
+                    base_run.result, run.result,
+                    "{engine}: {tier} corruption at {rate} changed mining results"
+                );
+                let rec = cluster.metrics().snapshot().recovery;
+                let i = rec.integrity;
+                assert_eq!(
+                    i.corruptions_detected, i.corruptions_injected,
+                    "{engine}: {tier}@{rate}: every injected corruption must be detected"
+                );
+                assert_eq!(
+                    i.corruptions_repaired, i.corruptions_detected,
+                    "{engine}: {tier}@{rate}: every detected corruption must be repaired"
+                );
+                assert_bucket_sum(&cluster, &format!("{engine} {tier}@{rate}"));
+                let _ = writeln!(
+                    out,
+                    "{:<11} {:>7} {:>5.2} | {:>8} {:>8} {:>8} | {:>14}/{:>3}/{:>4} {:>9.2}",
+                    engine,
+                    tier,
+                    rate,
+                    i.corruptions_injected,
+                    i.corruptions_detected,
+                    i.corruptions_repaired,
+                    i.repaired_via_replica,
+                    i.repaired_via_recompute,
+                    i.repaired_via_resubmit,
+                    run.total_seconds - base_run.total_seconds
+                );
+                summary.runs += 1;
+                summary.detected += i.corruptions_detected;
+                summary.repaired += i.corruptions_repaired;
+                if engine == "YAFIM" && *tier == "all" && rate == CORRUPTION_RATES[1] {
+                    summary.representative_cluster = cluster;
+                    summary.representative_itemsets = run.result.total();
+                }
+            }
+        }
+    }
+    assert!(
+        summary.detected > 0,
+        "the sweep must actually inject corruptions somewhere"
+    );
+
+    // Poisoned beyond repair: every replica of a checkpoint block fails
+    // verification and the lineage behind it is truncated — the engine
+    // must refuse with a typed integrity error, never return results.
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    let ctx = Context::new(cluster.clone());
+    let cp = ctx.text_file("input.dat", 4).expect("loaded").checkpoint();
+    cluster
+        .faults()
+        .set_plan(FaultPlan::seeded(seed).corrupt_all_replicas(IntegrityTier::Hdfs, cp.id(), 0));
+    match cp.try_collect() {
+        Err(ExecError::IntegrityFailure { detail }) => {
+            let _ = writeln!(
+                out,
+                "beyond repair (YAFIM): refused with integrity failure: {detail}"
+            );
+        }
+        Err(e) => panic!("expected an integrity failure, got: {e}"),
+        Ok(_) => panic!("all replicas poisoned + truncated lineage must not return results"),
+    }
+
+    // Same escalation on the MapReduce engine: every replica of an input
+    // split is poisoned and Hadoop has no lineage to recompute inputs.
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    cluster
+        .faults()
+        .set_plan(FaultPlan::seeded(seed).corrupt_all_replicas(
+            IntegrityTier::Hdfs,
+            fx_hash64(&"input.dat"),
+            0,
+        ));
+    match MrApriori::new(cluster.clone(), MrAprioriConfig::new(data.support)).mine("input.dat") {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("data integrity failure"),
+                "expected an integrity failure, got: {msg}"
+            );
+            let _ = writeln!(out, "beyond repair (MR): refused with integrity failure");
+        }
+        Ok(_) => panic!("all replicas poisoned must not return results"),
+    }
+    let _ = writeln!(
+        out,
+        "corruption sweep: {} runs, {} injected corruptions all detected and repaired\n",
+        summary.runs, summary.detected
+    );
+    summary
+}
+
+/// The critical-path buckets must account for every virtual second even
+/// under corruption plans (repair stalls land in `fault_stall`, recompute
+/// in the normal buckets of the resubmitted work).
+fn assert_bucket_sum(cluster: &SimCluster, label: &str) {
+    let report = critical_path(cluster.metrics(), cluster.cost());
+    let sum: f64 = report.buckets.named().iter().map(|(_, v)| v).sum();
+    let makespan = cluster.metrics().snapshot().now.as_secs();
+    assert!(
+        (sum - makespan).abs() < 1e-6,
+        "{label}: critical-path buckets sum to {sum} but makespan is {makespan}"
     );
 }
 

@@ -44,6 +44,10 @@ pub struct CostModel {
     /// Serialization/deserialization throughput, bytes/s (applies at shuffle
     /// and broadcast boundaries on both engines).
     pub ser_bw: f64,
+    /// Block-checksum throughput, bytes/s (fx-hash64 over serialized bytes;
+    /// charged at every checksummed write and every verified read when a
+    /// corruption plan is active).
+    pub checksum_bw: f64,
 
     // ---- MapReduce (Hadoop 1.x) framework ----
     /// Fixed per-job overhead: submission, JobTracker setup, output commit.
@@ -78,6 +82,7 @@ impl CostModel {
             mem_scan_bw: 4.0e9,
             cpu_unit: 100.0e-9,
             ser_bw: 400.0e6,
+            checksum_bw: 8.0e9,
             mr_job_overhead: 20.0,
             mr_task_overhead: 1.5,
             mr_wave_latency: 4.0,
@@ -137,6 +142,12 @@ impl CostModel {
     /// Time to (de)serialize `bytes` on one core.
     pub fn serialize(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs(bytes as f64 / self.ser_bw)
+    }
+
+    /// Time to fx-hash64-checksum `bytes` on one core (block write
+    /// checksumming and read-time verification).
+    pub fn checksum(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs(bytes as f64 / self.checksum_bw)
     }
 
     /// Time to commit `bytes` to HDFS with pipeline replication: one local
@@ -211,6 +222,14 @@ mod tests {
         // 4 nodes → 2 rounds, 16 nodes → 4 rounds: exactly 2× the net term.
         let net = m.net_transfer(1_000_000);
         assert!((b16.as_secs() - b4.as_secs() - (net * 2.0).as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_is_cheaper_than_serialization() {
+        let m = CostModel::hadoop_era();
+        let bytes = 1_000_000;
+        assert!(m.checksum(bytes) > SimDuration::ZERO);
+        assert!(m.checksum(bytes) < m.serialize(bytes));
     }
 
     #[test]

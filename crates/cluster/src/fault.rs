@@ -67,6 +67,50 @@ pub const DEFAULT_FETCH_BACKOFF_BASE: f64 = 0.05;
 /// Virtual seconds between node heartbeats.
 pub const DEFAULT_HEARTBEAT_INTERVAL: f64 = 0.5;
 
+/// Which storage tier a silent corruption hits. Each tier checksums its
+/// blocks at write time and verifies at read time; the tier determines both
+/// the hash domain of the seeded corruption roll and the repair ladder the
+/// reader walks on a mismatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntegrityTier {
+    /// Shuffle map output buckets ([`crate::SimCluster`]-side registry).
+    Shuffle,
+    /// Cached / spilled RDD partitions.
+    Cache,
+    /// SimHdfs file blocks and checkpoint replicas.
+    Hdfs,
+}
+
+impl IntegrityTier {
+    /// Hash-domain tag separating the tiers' corruption rolls.
+    fn tag(self) -> u64 {
+        match self {
+            IntegrityTier::Shuffle => 0xbadd,
+            IntegrityTier::Cache => 0xbadc,
+            IntegrityTier::Hdfs => 0xbadf,
+        }
+    }
+
+    /// Stable lowercase name (JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityTier::Shuffle => "shuffle",
+            IntegrityTier::Cache => "cache",
+            IntegrityTier::Hdfs => "hdfs",
+        }
+    }
+
+    /// Parse the JSON encoding produced by [`IntegrityTier::name`].
+    pub fn parse(s: &str) -> Option<IntegrityTier> {
+        match s {
+            "shuffle" => Some(IntegrityTier::Shuffle),
+            "cache" => Some(IntegrityTier::Cache),
+            "hdfs" => Some(IntegrityTier::Hdfs),
+            _ => None,
+        }
+    }
+}
+
 /// A seeded, fully deterministic description of the faults injected into one
 /// run. Built with the `with_*`/`crash_*`/`lose_*` chainable constructors.
 #[derive(Clone, Debug)]
@@ -113,6 +157,18 @@ pub struct FaultPlan {
     /// (0 = never). Engines read it when their own config does not set an
     /// interval, so a saved chaos plan can turn checkpointing on by itself.
     pub checkpoint_interval: usize,
+    /// Probability that one shuffle map-output bucket rots silently (rolled
+    /// per (shuffle, reduce partition) at read time, seed-deterministic).
+    pub shuffle_corruption_prob: f64,
+    /// Probability that one cached / spilled partition rots silently.
+    pub cache_corruption_prob: f64,
+    /// Probability that one HDFS / checkpoint block *replica* rots silently
+    /// (rolled per replica, so surviving copies can repair the read).
+    pub hdfs_corruption_prob: f64,
+    /// Deterministic targeted corruptions: `(tier, id, partition, copies)`
+    /// poisons the first `copies` replicas of that exact block
+    /// (`u32::MAX` = all replicas, leaving no clean copy at that site).
+    pub targeted_corruptions: Vec<(IntegrityTier, u64, usize, u32)>,
 }
 
 impl Default for FaultPlan {
@@ -142,6 +198,10 @@ impl FaultPlan {
             heartbeat_timeout: SimDuration::ZERO,
             blacklist_expiry: SimDuration::ZERO,
             checkpoint_interval: 0,
+            shuffle_corruption_prob: 0.0,
+            cache_corruption_prob: 0.0,
+            hdfs_corruption_prob: 0.0,
+            targeted_corruptions: Vec::new(),
         }
     }
 
@@ -233,6 +293,79 @@ impl FaultPlan {
         self
     }
 
+    /// Rot shuffle map-output buckets with probability `prob` per
+    /// (shuffle, reduce partition), seed-deterministically.
+    pub fn corrupt_shuffle(mut self, prob: f64) -> Self {
+        self.shuffle_corruption_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Rot cached / spilled partitions with probability `prob`.
+    pub fn corrupt_cache(mut self, prob: f64) -> Self {
+        self.cache_corruption_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Rot HDFS / checkpoint block replicas with probability `prob` per
+    /// replica.
+    pub fn corrupt_hdfs(mut self, prob: f64) -> Self {
+        self.hdfs_corruption_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Poison exactly one copy (the first replica) of the identified block.
+    pub fn corrupt_block(mut self, tier: IntegrityTier, id: u64, partition: usize) -> Self {
+        self.targeted_corruptions.push((tier, id, partition, 1));
+        self
+    }
+
+    /// Poison *every* replica of the identified block, leaving no clean
+    /// copy at that site — the reader must fall back to lineage or fail.
+    pub fn corrupt_all_replicas(mut self, tier: IntegrityTier, id: u64, partition: usize) -> Self {
+        self.targeted_corruptions
+            .push((tier, id, partition, u32::MAX));
+        self
+    }
+
+    /// True when the plan can inject silent corruption anywhere. Readers
+    /// use this to skip checksum verification (and its virtual-time charge)
+    /// entirely on clean runs, keeping fault-free timelines byte-identical.
+    pub fn integrity_active(&self) -> bool {
+        self.shuffle_corruption_prob > 0.0
+            || self.cache_corruption_prob > 0.0
+            || self.hdfs_corruption_prob > 0.0
+            || !self.targeted_corruptions.is_empty()
+    }
+
+    /// Seed-deterministic corruption decision for one stored copy of one
+    /// block: `copy` indexes the replica (0 for single-copy tiers). Pure —
+    /// the same plan always rots the same copies; see
+    /// [`FaultController::take_corruption`] for the repair-aware wrapper.
+    pub fn corruption_roll(
+        &self,
+        tier: IntegrityTier,
+        id: u64,
+        partition: usize,
+        copy: u32,
+    ) -> bool {
+        for (t, tid, part, copies) in &self.targeted_corruptions {
+            if *t == tier && *tid == id && *part == partition && copy < *copies {
+                return true;
+            }
+        }
+        let prob = match tier {
+            IntegrityTier::Shuffle => self.shuffle_corruption_prob,
+            IntegrityTier::Cache => self.cache_corruption_prob,
+            IntegrityTier::Hdfs => self.hdfs_corruption_prob,
+        };
+        if prob <= 0.0 {
+            return false;
+        }
+        let key = (self.seed, tier.tag(), id, partition as u64, copy as u64);
+        let roll = (fx_hash64(&key) >> 11) as f64 / (1u64 << 53) as f64;
+        roll < prob
+    }
+
     /// True when the plan can actually disturb a run.
     pub fn has_faults(&self) -> bool {
         self.task_crash_prob > 0.0
@@ -240,6 +373,7 @@ impl FaultPlan {
             || self.slow_nodes.iter().any(|(_, f)| *f > 1.0)
             || self.fetch_failure_prob > 0.0
             || self.hdfs_failure_prob > 0.0
+            || self.integrity_active()
     }
 
     /// The virtual instant at which the driver *detects* a death at `death`:
@@ -347,15 +481,72 @@ impl FaultPlan {
             ("heartbeat_timeout", self.heartbeat_timeout.as_secs().into()),
             ("blacklist_expiry", self.blacklist_expiry.as_secs().into()),
             ("checkpoint_interval", self.checkpoint_interval.into()),
+            (
+                "shuffle_corruption_prob",
+                self.shuffle_corruption_prob.into(),
+            ),
+            ("cache_corruption_prob", self.cache_corruption_prob.into()),
+            ("hdfs_corruption_prob", self.hdfs_corruption_prob.into()),
+            (
+                "targeted_corruptions",
+                JsonValue::Array(
+                    self.targeted_corruptions
+                        .iter()
+                        .map(|(tier, id, part, copies)| {
+                            JsonValue::Array(vec![
+                                tier.name().into(),
+                                (*id).into(),
+                                (*part).into(),
+                                u64::from(*copies).into(),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     /// Parse a plan from the JSON produced by [`FaultPlan::to_json`]. Every
     /// field is optional and falls back to [`FaultPlan::seeded`] defaults,
-    /// so hand-written plans can stay minimal.
+    /// so hand-written plans can stay minimal — but unknown fields are
+    /// rejected by name, so a typo (`fetch_retrys`) fails loudly instead of
+    /// silently running with the default.
     pub fn from_json(v: &JsonValue) -> Result<FaultPlan, String> {
+        const KNOWN_FIELDS: &[&str] = &[
+            "seed",
+            "task_crash_prob",
+            "max_task_failures",
+            "resubmit_delay",
+            "node_losses",
+            "slow_nodes",
+            "speculation",
+            "speculation_multiplier",
+            "blacklist_after",
+            "fetch_failure_prob",
+            "hdfs_failure_prob",
+            "fetch_retries",
+            "fetch_backoff_base",
+            "heartbeat_interval",
+            "heartbeat_timeout",
+            "blacklist_expiry",
+            "checkpoint_interval",
+            "shuffle_corruption_prob",
+            "cache_corruption_prob",
+            "hdfs_corruption_prob",
+            "targeted_corruptions",
+        ];
         let obj = match v {
-            JsonValue::Object(_) => v,
+            JsonValue::Object(map) => {
+                for key in map.keys() {
+                    if !KNOWN_FIELDS.contains(&key.as_str()) {
+                        return Err(format!(
+                            "unknown fault plan field `{key}` (known fields: {})",
+                            KNOWN_FIELDS.join(", ")
+                        ));
+                    }
+                }
+                v
+            }
             other => return Err(format!("fault plan must be a JSON object, got {other}")),
         };
         let num = |name: &str| obj.get(name).and_then(JsonValue::as_f64);
@@ -436,6 +627,48 @@ impl FaultPlan {
         if let Some(n) = num("checkpoint_interval") {
             plan.checkpoint_interval = n as usize;
         }
+        if let Some(p) = num("shuffle_corruption_prob") {
+            plan.shuffle_corruption_prob = p.clamp(0.0, 1.0);
+        }
+        if let Some(p) = num("cache_corruption_prob") {
+            plan.cache_corruption_prob = p.clamp(0.0, 1.0);
+        }
+        if let Some(p) = num("hdfs_corruption_prob") {
+            plan.hdfs_corruption_prob = p.clamp(0.0, 1.0);
+        }
+        if let Some(JsonValue::Array(items)) = obj.get("targeted_corruptions") {
+            for item in items {
+                let entry = item.as_array().filter(|e| e.len() == 4).ok_or_else(|| {
+                    format!(
+                        "targeted_corruptions entry must be [tier, id, partition, copies]: {item}"
+                    )
+                })?;
+                let tier = entry[0]
+                    .as_str()
+                    .and_then(IntegrityTier::parse)
+                    .ok_or_else(|| {
+                        format!(
+                            "bad corruption tier {} (expected \"shuffle\", \"cache\" or \"hdfs\")",
+                            entry[0]
+                        )
+                    })?;
+                let id = entry[1]
+                    .as_f64()
+                    .ok_or_else(|| format!("bad corruption id: {}", entry[1]))?;
+                let part = entry[2]
+                    .as_f64()
+                    .ok_or_else(|| format!("bad corruption partition: {}", entry[2]))?;
+                let copies = entry[3]
+                    .as_f64()
+                    .ok_or_else(|| format!("bad corruption copy count: {}", entry[3]))?;
+                plan.targeted_corruptions.push((
+                    tier,
+                    id as u64,
+                    part as usize,
+                    (copies as u64).min(u64::from(u32::MAX)) as u32,
+                ));
+            }
+        }
         Ok(plan)
     }
 
@@ -490,6 +723,49 @@ impl TransientOutcome {
     }
 }
 
+/// Silent-corruption bookkeeping: how many blocks rotted, how many rotted
+/// blocks a reader caught (detection is at read time, so the two are equal
+/// whenever every rotten block is actually read — rot that is never read is
+/// unobservable by construction), and which rung of the repair ladder fixed
+/// each one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Stored copies whose checksum was poisoned by the plan and observed
+    /// by a reader.
+    pub corruptions_injected: u64,
+    /// Checksum mismatches caught at read time (always == injected: every
+    /// verified read of a rotten copy detects it).
+    pub corruptions_detected: u64,
+    /// Detected corruptions repaired from *some* clean source.
+    pub corruptions_repaired: u64,
+    /// Repairs served by re-fetching a surviving replica (HDFS blocks,
+    /// checkpoint copies).
+    pub repaired_via_replica: u64,
+    /// Repairs served by evicting the poisoned copy and recomputing it
+    /// through the lineage inside the running task.
+    pub repaired_via_recompute: u64,
+    /// Repairs served by resubmitting the producing map stage (shuffle
+    /// buckets have no replica — the map task is re-run).
+    pub repaired_via_resubmit: u64,
+}
+
+impl IntegrityCounters {
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &IntegrityCounters) {
+        self.corruptions_injected += other.corruptions_injected;
+        self.corruptions_detected += other.corruptions_detected;
+        self.corruptions_repaired += other.corruptions_repaired;
+        self.repaired_via_replica += other.repaired_via_replica;
+        self.repaired_via_recompute += other.repaired_via_recompute;
+        self.repaired_via_resubmit += other.repaired_via_resubmit;
+    }
+
+    /// True when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        *self != IntegrityCounters::default()
+    }
+}
+
 /// Failure/retry/speculation counters. Attached to every recorded stage and
 /// aggregated by the metrics sink; the stage report prints them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -525,6 +801,8 @@ pub struct RecoveryCounters {
     /// Deepest lineage chain any lost partition was recomputed through
     /// (merged with `max`, not summed — it bounds recovery work).
     pub max_replay_depth: u64,
+    /// Silent-corruption detections and repairs (checksummed tiers).
+    pub integrity: IntegrityCounters,
 }
 
 impl RecoveryCounters {
@@ -544,6 +822,7 @@ impl RecoveryCounters {
         self.checkpoint_writes += other.checkpoint_writes;
         self.checkpoint_reads += other.checkpoint_reads;
         self.max_replay_depth = self.max_replay_depth.max(other.max_replay_depth);
+        self.integrity.merge(&other.integrity);
     }
 
     /// True when any counter is nonzero.
@@ -632,6 +911,10 @@ struct FaultInner {
     /// Cross-stage blacklist entries (node → expiry instant). Only used
     /// when the plan sets a nonzero [`FaultPlan::blacklist_expiry`].
     blacklist: FxHashMap<u32, SimInstant>,
+    /// Corrupted copies already detected and repaired (scrub-on-read):
+    /// `(tier tag, id, partition, copy)`. A healed copy never rots again —
+    /// the rewrite stored fresh, clean bytes.
+    healed: FxHashSet<(u64, u64, u64, u64)>,
     stage_counter: u64,
 }
 
@@ -722,6 +1005,52 @@ impl FaultController {
             g.applied.insert(n.0);
         }
         fresh
+    }
+
+    /// Whether the installed plan can inject silent corruption: readers use
+    /// this to decide whether to charge checksum verification time at all.
+    /// `false` on clean runs keeps fault-free timelines byte-identical.
+    pub fn integrity_active(&self) -> bool {
+        let g = self.inner.lock();
+        g.enabled && g.plan.integrity_active()
+    }
+
+    /// Whether the identified stored copy is rotten *right now*: the plan's
+    /// seeded roll says it rotted and no reader has repaired it yet. Pure
+    /// query — use [`FaultController::take_corruption`] at actual read
+    /// sites so the detection is counted and the copy heals.
+    pub fn corrupted(&self, tier: IntegrityTier, id: u64, partition: usize, copy: u32) -> bool {
+        let g = self.inner.lock();
+        if !g.enabled || !g.plan.integrity_active() {
+            return false;
+        }
+        g.plan.corruption_roll(tier, id, partition, copy)
+            && !g
+                .healed
+                .contains(&(tier.tag(), id, partition as u64, u64::from(copy)))
+    }
+
+    /// Read-site corruption check: returns `true` exactly once per rotten
+    /// copy (the verifying read detects the rot; the subsequent repair
+    /// rewrites clean bytes, so the copy is marked healed and later reads
+    /// verify clean). Callers that see `true` must count the
+    /// detection/repair and charge the repair path.
+    pub fn take_corruption(
+        &self,
+        tier: IntegrityTier,
+        id: u64,
+        partition: usize,
+        copy: u32,
+    ) -> bool {
+        let mut g = self.inner.lock();
+        if !g.enabled || !g.plan.integrity_active() {
+            return false;
+        }
+        if !g.plan.corruption_roll(tier, id, partition, copy) {
+            return false;
+        }
+        g.healed
+            .insert((tier.tag(), id, partition as u64, u64::from(copy)))
     }
 
     /// Walk the seeded transient-failure ladder for one fetch site, or an
@@ -1457,7 +1786,12 @@ mod tests {
             .with_fetch_backoff_base(SimDuration::from_secs(0.07))
             .with_heartbeat(SimDuration::from_secs(0.4), SimDuration::from_secs(1.2))
             .with_blacklist_expiry(SimDuration::from_secs(30.0))
-            .with_checkpoint_interval(2);
+            .with_checkpoint_interval(2)
+            .corrupt_shuffle(0.0625)
+            .corrupt_cache(0.03125)
+            .corrupt_hdfs(0.015625)
+            .corrupt_block(IntegrityTier::Cache, 9, 3)
+            .corrupt_all_replicas(IntegrityTier::Hdfs, 4, 0);
         let text = plan.to_json().to_string();
         let back = FaultPlan::from_json(&crate::json::parse(&text).expect("valid JSON"))
             .expect("well-formed plan");
@@ -1472,6 +1806,116 @@ mod tests {
         assert_eq!(back.fetch_retries, 6);
         assert_eq!(back.checkpoint_interval, 2);
         assert!(back.speculation);
+        assert_eq!(back.shuffle_corruption_prob, 0.0625);
+        assert_eq!(back.cache_corruption_prob, 0.03125);
+        assert_eq!(back.hdfs_corruption_prob, 0.015625);
+        assert_eq!(
+            back.targeted_corruptions,
+            vec![
+                (IntegrityTier::Cache, 9, 3, 1),
+                (IntegrityTier::Hdfs, 4, 0, u32::MAX),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_json_field_is_rejected_by_name() {
+        let v = crate::json::parse(r#"{"seed": 7, "fetch_retrys": 5}"#).unwrap();
+        let err = FaultPlan::from_json(&v).expect_err("typo'd field must fail");
+        assert!(err.contains("fetch_retrys"), "error names the field: {err}");
+        assert!(err.contains("unknown fault plan field"), "got: {err}");
+    }
+
+    #[test]
+    fn bad_corruption_tier_is_rejected() {
+        let v = crate::json::parse(r#"{"targeted_corruptions": [["ssd", 1, 2, 1]]}"#).unwrap();
+        let err = FaultPlan::from_json(&v).expect_err("unknown tier");
+        assert!(err.contains("ssd"), "got: {err}");
+    }
+
+    #[test]
+    fn corruption_rolls_are_deterministic_and_tier_independent() {
+        let plan = FaultPlan::seeded(13)
+            .corrupt_shuffle(0.5)
+            .corrupt_cache(0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|p| plan.corruption_roll(IntegrityTier::Shuffle, 3, p, 0))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|p| plan.corruption_roll(IntegrityTier::Shuffle, 3, p, 0))
+            .collect();
+        assert_eq!(a, b, "same plan rots the same copies");
+        assert!(
+            a.iter().any(|x| *x) && a.iter().any(|x| !*x),
+            "mixed at 50%"
+        );
+        let c: Vec<bool> = (0..64)
+            .map(|p| plan.corruption_roll(IntegrityTier::Cache, 3, p, 0))
+            .collect();
+        assert_ne!(a, c, "tiers roll in independent hash domains");
+        // Inert tier never rots; targeted entries rot regardless of probs.
+        assert!(!plan.corruption_roll(IntegrityTier::Hdfs, 3, 0, 0));
+        let targeted = FaultPlan::seeded(0).corrupt_all_replicas(IntegrityTier::Hdfs, 7, 2);
+        assert!(targeted.corruption_roll(IntegrityTier::Hdfs, 7, 2, 0));
+        assert!(targeted.corruption_roll(IntegrityTier::Hdfs, 7, 2, 5));
+        assert!(!targeted.corruption_roll(IntegrityTier::Hdfs, 7, 3, 0));
+        assert!(targeted.integrity_active() && targeted.has_faults());
+    }
+
+    #[test]
+    fn take_corruption_detects_once_then_heals() {
+        let fc = FaultController::new();
+        assert!(
+            !fc.take_corruption(IntegrityTier::Cache, 1, 0, 0),
+            "inert controller never rots"
+        );
+        fc.set_plan(FaultPlan::seeded(0).corrupt_block(IntegrityTier::Cache, 1, 0));
+        assert!(fc.corrupted(IntegrityTier::Cache, 1, 0, 0));
+        assert!(
+            fc.take_corruption(IntegrityTier::Cache, 1, 0, 0),
+            "first read detects"
+        );
+        assert!(
+            !fc.take_corruption(IntegrityTier::Cache, 1, 0, 0),
+            "repaired copy stays clean"
+        );
+        assert!(!fc.corrupted(IntegrityTier::Cache, 1, 0, 0), "healed");
+        assert!(
+            !fc.take_corruption(IntegrityTier::Cache, 1, 1, 0),
+            "other copies clean"
+        );
+    }
+
+    #[test]
+    fn integrity_counters_merge_and_flow_through_recovery() {
+        let mut a = IntegrityCounters {
+            corruptions_injected: 2,
+            corruptions_detected: 2,
+            corruptions_repaired: 2,
+            repaired_via_replica: 1,
+            repaired_via_recompute: 1,
+            ..IntegrityCounters::default()
+        };
+        let b = IntegrityCounters {
+            corruptions_injected: 1,
+            corruptions_detected: 1,
+            corruptions_repaired: 1,
+            repaired_via_resubmit: 1,
+            ..IntegrityCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.corruptions_injected, 3);
+        assert_eq!(a.repaired_via_resubmit, 1);
+        assert!(a.any());
+
+        let mut r = RecoveryCounters::default();
+        assert!(!r.any());
+        r.merge(&RecoveryCounters {
+            integrity: b,
+            ..RecoveryCounters::default()
+        });
+        assert_eq!(r.integrity.corruptions_detected, 1);
+        assert!(r.any(), "integrity counters alone make recovery non-empty");
     }
 
     #[test]

@@ -99,6 +99,17 @@ impl RunManifest {
         ] {
             metrics.insert(format!("recovery.{name}"), v as f64);
         }
+        let i = &r.integrity;
+        for (name, v) in [
+            ("corruptions_injected", i.corruptions_injected),
+            ("corruptions_detected", i.corruptions_detected),
+            ("corruptions_repaired", i.corruptions_repaired),
+            ("repaired_via_replica", i.repaired_via_replica),
+            ("repaired_via_recompute", i.repaired_via_recompute),
+            ("repaired_via_resubmit", i.repaired_via_resubmit),
+        ] {
+            metrics.insert(format!("integrity.{name}"), v as f64);
+        }
         for (name, v) in &registry.counters {
             metrics.insert(format!("counter.{name}"), *v as f64);
         }

@@ -319,6 +319,21 @@ pub fn full_report(metrics: &Metrics) -> String {
             r.max_replay_depth
         );
     }
+    // Silent-corruption detection/repair, only under a corruption plan.
+    let i = &r.integrity;
+    if i.any() {
+        let _ = writeln!(
+            out,
+            "integrity: {} corruptions injected | {} detected | {} repaired \
+             ({} via replica, {} via recompute, {} via resubmit)",
+            i.corruptions_injected,
+            i.corruptions_detected,
+            i.corruptions_repaired,
+            i.repaired_via_replica,
+            i.repaired_via_recompute,
+            i.repaired_via_resubmit
+        );
+    }
     out
 }
 
@@ -500,6 +515,41 @@ mod tests {
     }
 
     #[test]
+    fn integrity_counters_show_in_totals() {
+        use crate::fault::{IntegrityCounters, RecoveryCounters};
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "s".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![task(0, 1.0, TaskProfile::new())],
+        });
+        m.note_recovery(&RecoveryCounters {
+            integrity: IntegrityCounters {
+                corruptions_injected: 5,
+                corruptions_detected: 5,
+                corruptions_repaired: 5,
+                repaired_via_replica: 2,
+                repaired_via_recompute: 2,
+                repaired_via_resubmit: 1,
+            },
+            ..RecoveryCounters::default()
+        });
+        let report = full_report(&m);
+        assert!(
+            report.contains("integrity: 5 corruptions injected"),
+            "{report}"
+        );
+        assert!(report.contains("5 detected"), "{report}");
+        assert!(
+            report.contains("(2 via replica, 2 via recompute, 1 via resubmit)"),
+            "{report}"
+        );
+    }
+
+    #[test]
     fn fault_free_report_has_no_recovery_lines() {
         let m = Metrics::new();
         m.record_stage(StageExecution {
@@ -513,6 +563,7 @@ mod tests {
         let report = full_report(&m);
         assert!(!report.contains("recovery:"));
         assert!(!report.contains("transients:"));
+        assert!(!report.contains("integrity:"));
     }
 
     #[test]

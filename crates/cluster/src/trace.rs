@@ -159,6 +159,20 @@ pub fn chrome_trace_value(metrics: &Metrics, spec: &ClusterSpec) -> JsonValue {
                 ("checkpoint_writes", r.checkpoint_writes.into()),
                 ("checkpoint_reads", r.checkpoint_reads.into()),
             ]);
+            // Silent-corruption counters, only when the integrity layer
+            // actually fired — clean-but-recovering stages keep the
+            // pre-integrity arg set byte-identical.
+            let i = &r.integrity;
+            if i.any() {
+                args.extend([
+                    ("corruptions_injected", i.corruptions_injected.into()),
+                    ("corruptions_detected", i.corruptions_detected.into()),
+                    ("corruptions_repaired", i.corruptions_repaired.into()),
+                    ("repaired_via_replica", i.repaired_via_replica.into()),
+                    ("repaired_via_recompute", i.repaired_via_recompute.into()),
+                    ("repaired_via_resubmit", i.repaired_via_resubmit.into()),
+                ]);
+            }
         }
         events.push(complete(
             format!("stage {}: {}", stage.stage_id, stage.label),

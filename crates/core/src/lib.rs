@@ -23,6 +23,7 @@
 //! return *identical* results (the paper's correctness check), which the
 //! test suite enforces across every generator family.
 
+pub mod audit;
 pub mod candidates;
 pub mod eclat;
 pub mod encode;
@@ -38,6 +39,7 @@ pub mod trie;
 pub mod types;
 pub mod yafim;
 
+pub use audit::{audit_level, audit_levels, audit_levels_with};
 pub use candidates::{ap_gen, CandidateStore, GenWork};
 pub use eclat::eclat;
 pub use encode::{DenseEncoder, TrimMask};

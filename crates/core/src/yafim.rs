@@ -327,6 +327,18 @@ impl Yafim {
             }
             lk.sort_by(|a, b| a.0.cmp(&b.0));
 
+            // Last-line tripwire behind the storage integrity layer: if a
+            // corrupted partition somehow produced counts that slipped past
+            // every checksum, the Apriori invariants catch it here, before
+            // the level is recorded — wrong results must never be returned.
+            if let Err(violation) = crate::audit::audit_level(
+                levels.last().expect("levels never empty here"),
+                &lk,
+                n_candidates,
+            ) {
+                panic!("mining-invariant audit failed after pass {pass}: {violation}");
+            }
+
             metrics.record_span(EventKind::Iteration, format!("pass {pass}"), pass_start);
             passes.push(PassTiming {
                 pass,

@@ -6,9 +6,9 @@ use crate::job::{MapReduceJob, MrKey, MrValue};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use yafim_cluster::{
-    bucket_of, slice_bytes, DetailedSchedule, DfsError, DfsFile, EventKind, FaultError,
-    RecoveryCounters, SimCluster, SimDuration, StageExecution, TaskExecution, TaskProfile,
-    TaskSpec, WorkCounters,
+    bucket_of, fx_hash64, slice_bytes, DetailedSchedule, DfsError, DfsFile, EventKind, FaultError,
+    IntegrityCounters, IntegrityTier, RecoveryCounters, SimCluster, SimDuration, StageExecution,
+    TaskExecution, TaskProfile, TaskSpec, WorkCounters,
 };
 
 /// Why a MapReduce job failed: the input is missing, or the active fault
@@ -24,6 +24,13 @@ pub enum MrError {
         /// The underlying scheduler failure.
         source: FaultError,
     },
+    /// Every replica of some input split failed checksum verification:
+    /// there is no clean copy to read, and returning anything would mean
+    /// returning wrong results.
+    Integrity {
+        /// Human-readable description of the poisoned data.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for MrError {
@@ -31,6 +38,7 @@ impl std::fmt::Display for MrError {
         match self {
             MrError::Dfs(e) => write!(f, "{e}"),
             MrError::Fault { stage, source } => write!(f, "stage `{stage}` aborted: {source}"),
+            MrError::Integrity { detail } => write!(f, "data integrity failure: {detail}"),
         }
     }
 }
@@ -40,6 +48,7 @@ impl std::error::Error for MrError {
         match self {
             MrError::Dfs(e) => Some(e),
             MrError::Fault { source, .. } => Some(source),
+            MrError::Integrity { .. } => None,
         }
     }
 }
@@ -165,6 +174,42 @@ impl MrRunner {
             job.reduce_tasks
         };
 
+        // ---- data integrity (silent-corruption plans) ----
+        //
+        // The job name keys this job's corruption rolls: HDFS-tier rolls
+        // cover the input splits (shared across jobs reading the same
+        // file — a repaired block stays repaired), shuffle-tier rolls
+        // cover this job's reduce inputs. Before any work runs, refuse
+        // the job if some split has *no* clean replica left — Hadoop has
+        // no lineage to recompute an input from.
+        let faults = cluster.faults().clone();
+        let integrity = faults.integrity_active();
+        let integrity_id = fx_hash64(&job.input);
+        let split_replicas: Vec<u32> = splits
+            .iter()
+            .map(|s| {
+                file.blocks()
+                    .iter()
+                    .find(|b| b.lines.start <= s.lines.start && s.lines.start < b.lines.end)
+                    .map(|b| b.replicas.len())
+                    .unwrap_or(1)
+                    .max(1) as u32
+            })
+            .collect();
+        if integrity {
+            for (i, &copies) in split_replicas.iter().enumerate() {
+                if (0..copies).all(|c| faults.corrupted(IntegrityTier::Hdfs, integrity_id, i, c)) {
+                    return Err(MrError::Integrity {
+                        detail: format!(
+                            "input `{}` split {i}: all {copies} replicas failed checksum \
+                             verification — no clean copy reachable",
+                            job.input
+                        ),
+                    });
+                }
+            }
+        }
+
         let mapper = match &job.mapper {
             crate::job::MapPhase::PerLine(f) => crate::job::MapPhase::PerLine(Arc::clone(f)),
             crate::job::MapPhase::PerSplit(f) => crate::job::MapPhase::PerSplit(Arc::clone(f)),
@@ -174,6 +219,11 @@ impl MrRunner {
         let spill_factor = cost.mr_spill_factor;
         let file_for_tasks = file.clone();
         let splits_for_tasks = splits.clone();
+        let shuffle_integrity_id = fx_hash64(&job.name);
+        let faults_map = faults.clone();
+        let metrics_map = metrics.clone();
+        let cost_map = cost.clone();
+        let replicas_map = split_replicas.clone();
 
         type MapOut<KM, VM> = (Vec<Vec<(KM, VM)>>, TaskProfile);
         let map_outs: Vec<MapOut<KM, VM>> =
@@ -185,6 +235,36 @@ impl MrRunner {
                     w.add_disk_read(split.bytes); // locality-scheduled: local read
                     if side_bytes > 0 {
                         w.add_disk_read(side_bytes); // localized cache file
+                    }
+                    // Verify the split's checksum; a rotten replica is
+                    // re-fetched from the next one (the preflight above
+                    // guarantees a clean copy exists).
+                    if integrity {
+                        for copy in 0..replicas_map[i] {
+                            w.add_stall_micros(
+                                (cost_map.checksum(split.bytes).as_secs() * 1e6) as u64,
+                            );
+                            if faults_map.take_corruption(
+                                IntegrityTier::Hdfs,
+                                integrity_id,
+                                i,
+                                copy,
+                            ) {
+                                w.add_net(split.bytes);
+                                metrics_map.note_recovery(&RecoveryCounters {
+                                    integrity: IntegrityCounters {
+                                        corruptions_injected: 1,
+                                        corruptions_detected: 1,
+                                        corruptions_repaired: 1,
+                                        repaired_via_replica: 1,
+                                        ..IntegrityCounters::default()
+                                    },
+                                    ..RecoveryCounters::default()
+                                });
+                            } else {
+                                break;
+                            }
+                        }
                     }
 
                     let mut em = Emitter::new();
@@ -233,6 +313,10 @@ impl MrRunner {
                     }
                     let bytes: u64 = buckets.iter().map(|b| slice_bytes(b)).sum();
                     w.add_ser(bytes);
+                    if integrity {
+                        // Checksum the map output at write time.
+                        w.add_stall_micros((cost_map.checksum(bytes).as_secs() * 1e6) as u64);
+                    }
                     // Spill traffic: write the sorted runs, read them back for
                     // the merge.
                     let spill = (bytes as f64 * spill_factor / 2.0) as u64;
@@ -371,6 +455,19 @@ impl MrRunner {
         let format = job.output.as_ref().map(|o| Arc::clone(&o.format));
         let nodes = spec.nodes as u64;
         let replication = cost.hdfs_replication as u64;
+        // Repairing a rotten reduce input means re-running the map task
+        // that produced it (map outputs live on local disk with no replica
+        // and no lineage); charge the slowest map attempt plus the remote
+        // input re-read, as the loss-resubmit path would.
+        let map_repair_micros = (task_specs
+            .iter()
+            .zip(&reread)
+            .map(|(t, rr)| (t.duration + *rr).as_secs())
+            .fold(0.0f64, f64::max)
+            * 1e6) as u64;
+        let faults_red = faults.clone();
+        let metrics_red = metrics.clone();
+        let cost_red = cost.clone();
         let buckets = Arc::new(buckets);
         let bucket_bytes_arc = Arc::new(bucket_bytes);
 
@@ -385,6 +482,32 @@ impl MrRunner {
                     w.add_disk_read(local);
                     w.add_net(bytes - local);
                     w.add_ser(bytes);
+                    // Verify the fetched reduce input; on mismatch, re-run
+                    // the producing map task and fetch again.
+                    if integrity {
+                        w.add_stall_micros((cost_red.checksum(bytes).as_secs() * 1e6) as u64);
+                        if faults_red.take_corruption(
+                            IntegrityTier::Shuffle,
+                            shuffle_integrity_id,
+                            r,
+                            0,
+                        ) {
+                            w.add_stall_micros(map_repair_micros);
+                            w.add_net(bytes);
+                            w.add_stall_micros((cost_red.checksum(bytes).as_secs() * 1e6) as u64);
+                            metrics_red.note_recovery(&RecoveryCounters {
+                                recomputed_partitions: 1,
+                                integrity: IntegrityCounters {
+                                    corruptions_injected: 1,
+                                    corruptions_detected: 1,
+                                    corruptions_repaired: 1,
+                                    repaired_via_resubmit: 1,
+                                    ..IntegrityCounters::default()
+                                },
+                                ..RecoveryCounters::default()
+                            });
+                        }
+                    }
 
                     let bucket = &buckets[r];
                     w.add_records_in(bucket.len() as u64);
@@ -415,6 +538,12 @@ impl MrRunner {
                         // HDFS commit: local write plus pipeline replication.
                         w.add_disk_write(out_bytes);
                         w.add_net(out_bytes * (replication.saturating_sub(1)));
+                        if integrity {
+                            // Checksum the committed blocks at write time.
+                            w.add_stall_micros(
+                                (cost_red.checksum(out_bytes).as_secs() * 1e6) as u64,
+                            );
+                        }
                     }
 
                     let profile = TaskProfile {

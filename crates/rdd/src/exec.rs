@@ -33,25 +33,45 @@ use yafim_cluster::{
     TaskExecution, TaskProfile, TaskSpec,
 };
 
-/// A stage could not complete under the active fault plan: some task
-/// exhausted its retry budget or no healthy node was left to run it.
+/// A job could not complete under the active fault plan.
 #[derive(Clone, Debug)]
-pub struct ExecError {
-    /// Label of the stage that aborted.
-    pub stage: String,
-    /// The underlying scheduler failure.
-    pub source: FaultError,
+pub enum ExecError {
+    /// A stage aborted: some task exhausted its retry budget or no healthy
+    /// node was left to run it.
+    StageAborted {
+        /// Label of the stage that aborted.
+        stage: String,
+        /// The underlying scheduler failure.
+        source: FaultError,
+    },
+    /// A corrupted block could not be repaired: every replica is poisoned
+    /// and lineage was truncated, so no clean copy is reachable. The engine
+    /// refuses to return possibly-wrong results.
+    IntegrityFailure {
+        /// What was corrupted and why it is unrepairable.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "stage `{}` aborted: {}", self.stage, self.source)
+        match self {
+            ExecError::StageAborted { stage, source } => {
+                write!(f, "stage `{stage}` aborted: {source}")
+            }
+            ExecError::IntegrityFailure { detail } => {
+                write!(f, "data integrity failure: {detail}")
+            }
+        }
     }
 }
 
 impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
+        match self {
+            ExecError::StageAborted { source, .. } => Some(source),
+            ExecError::IntegrityFailure { .. } => None,
+        }
     }
 }
 
@@ -129,7 +149,7 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
             cluster.metrics().now() + SimDuration::from_secs(cost.spark_stage_overhead);
         let fs = faults
             .schedule_stage(&cluster.scheduler(), &specs, None, window_start)
-            .map_err(|source| ExecError {
+            .map_err(|source| ExecError::StageAborted {
                 stage: label.clone(),
                 source,
             })?;
@@ -207,6 +227,30 @@ fn feed_registry(ctx: &Context, tasks: &[TaskExecution], recovery: &RecoveryCoun
         ("fault.task_retries", recovery.task_retries),
         ("fault.speculative_launched", recovery.speculative_launched),
         ("fault.speculative_wins", recovery.speculative_wins),
+        (
+            "integrity.corruptions_injected",
+            recovery.integrity.corruptions_injected,
+        ),
+        (
+            "integrity.corruptions_detected",
+            recovery.integrity.corruptions_detected,
+        ),
+        (
+            "integrity.corruptions_repaired",
+            recovery.integrity.corruptions_repaired,
+        ),
+        (
+            "integrity.repaired_via_replica",
+            recovery.integrity.repaired_via_replica,
+        ),
+        (
+            "integrity.repaired_via_recompute",
+            recovery.integrity.repaired_via_recompute,
+        ),
+        (
+            "integrity.repaired_via_resubmit",
+            recovery.integrity.repaired_via_resubmit,
+        ),
     ] {
         registry.counter(name).inc(v);
     }
@@ -384,6 +428,7 @@ pub(crate) fn try_collect<T: Data>(rdd: &Rdd<T>) -> Result<Vec<T>, ExecError> {
     ));
 
     let result = (|| {
+        rdd.imp.preflight()?;
         prepare_shuffles(ctx, &rdd.imp)?;
         let parts = run_final_stage(rdd, format!("collect rdd{}", rdd.id()))?;
 
@@ -422,6 +467,7 @@ pub(crate) fn try_checkpoint<T: Data>(rdd: &Rdd<T>) -> Result<Rdd<T>, ExecError>
     ));
 
     let result = (|| {
+        rdd.imp.preflight()?;
         prepare_shuffles(ctx, &rdd.imp)?;
         let imp = Arc::clone(&rdd.imp);
         let partitions = imp.num_partitions();
@@ -446,6 +492,11 @@ pub(crate) fn try_checkpoint<T: Data>(rdd: &Rdd<T>) -> Result<Rdd<T>, ExecError>
                 tc.add_ser(bytes); // serialize the block for stable storage
                 tc.add_disk_write(bytes); // primary replica, node-local
                 tc.add_net(bytes * replication.saturating_sub(1)); // pipeline to the others
+                if cluster.faults().integrity_active() {
+                    // Checksum the block at write time so replica reads can
+                    // verify it.
+                    tc.add_stall_micros((cluster.cost().checksum(bytes).as_secs() * 1e6) as u64);
+                }
                 tc.note_records_written(data.len() as u64);
                 cluster
                     .hdfs()
@@ -474,6 +525,7 @@ pub(crate) fn try_count<T: Data>(rdd: &Rdd<T>) -> Result<u64, ExecError> {
     ));
 
     let result = (|| {
+        rdd.imp.preflight()?;
         prepare_shuffles(ctx, &rdd.imp)?;
         let lens = run_count_stage(rdd, format!("count rdd{}", rdd.id()))?;
         sync_node_losses(ctx);
@@ -500,6 +552,7 @@ pub(crate) fn try_take<T: Data>(rdd: &Rdd<T>, n: usize) -> Result<Vec<T>, ExecEr
     ));
 
     let result = (|| {
+        rdd.imp.preflight()?;
         prepare_shuffles(ctx, &rdd.imp)?;
         let imp = Arc::clone(&rdd.imp);
         let total = imp.num_partitions();

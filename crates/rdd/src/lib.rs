@@ -249,6 +249,55 @@ mod tests {
     }
 
     #[test]
+    fn spilled_partitions_on_lost_node_drop_and_recompute() {
+        use yafim_cluster::NodeId;
+        // Everything spills: the disk tier holds all 8 partitions, spread
+        // round-robin over the nodes' local disks. Losing a node must drop
+        // exactly its spilled partitions; the next action recomputes them
+        // via lineage with identical results.
+        let cluster = small_cluster();
+        let mut cfg = RddConfig::for_cluster(&cluster);
+        cfg.cache_capacity_per_node = Some(64); // bytes!
+        let c = Context::with_config(cluster, cfg);
+        let rdd = c
+            .parallelize_with_partitions((0u64..10_000).collect(), 8)
+            .map(|x| x * 7)
+            .persist(StorageLevel::MemoryAndDisk);
+        let baseline = rdd.collect();
+        let before = c.cache().stats();
+        assert!(
+            before.disk_entries > 0 && before.disk_bytes > 0,
+            "partitions must have spilled: {before:?}"
+        );
+
+        let report = c.lose_node(NodeId(1));
+        assert!(
+            report.cached_partitions_dropped > 0,
+            "node 1 held spilled partitions"
+        );
+        let after = c.cache().stats();
+        assert!(
+            after.disk_entries < before.disk_entries,
+            "the lost node's spilled partitions must be gone"
+        );
+        assert!(after.disk_bytes < before.disk_bytes);
+
+        assert_eq!(
+            rdd.collect(),
+            baseline,
+            "lineage recompute must be identical"
+        );
+
+        rdd.unpersist();
+        let end = c.cache().stats();
+        assert_eq!(
+            (end.disk_entries, end.disk_bytes),
+            (0, 0),
+            "disk tier must drain to zero"
+        );
+    }
+
+    #[test]
     fn unpersist_drops_cache() {
         let c = ctx();
         let rdd = c.parallelize((0u32..100).collect()).cache();

@@ -43,7 +43,8 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use yafim_cluster::{
-    slice_bytes, ByteSize, DfsFile, NodeId, RecoveryCounters, Split, TransientKind,
+    slice_bytes, ByteSize, DfsFile, IntegrityCounters, IntegrityTier, NodeId, RecoveryCounters,
+    Split, TransientKind,
 };
 
 // Persistence state encoding for `RddMeta::persist_level`.
@@ -304,6 +305,18 @@ pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
     fn lineage_len(&self) -> u64 {
         1
     }
+    /// Verify, before a job runs, that a clean copy of every replicated
+    /// source partition is reachable under the active corruption plan.
+    /// Replicated sources (HDFS files, checkpoint blocks) check that at
+    /// least one replica per partition passes checksum verification; narrow
+    /// operators delegate to their parents. When every replica of a
+    /// partition is poisoned and the lineage was truncated there is nothing
+    /// left to replay — the job must fail typed
+    /// ([`crate::exec::ExecError::IntegrityFailure`]) rather than ever
+    /// return wrong results. Driver-resident sources have nothing to check.
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        Ok(())
+    }
 }
 
 /// The node a partition's task runs on: its locality preference, or its
@@ -311,6 +324,15 @@ pub(crate) trait RddImpl<T: Data>: Send + Sync + 'static {
 pub(crate) fn node_for<T: Data>(imp: &Arc<dyn RddImpl<T>>, part: usize) -> NodeId {
     imp.preferred_node(part)
         .unwrap_or_else(|| imp.meta().ctx.cluster().spec().home_node(part))
+}
+
+/// Integer microseconds to fx-hash64-checksum `bytes` under the cluster's
+/// cost model. Integrity overhead (write-time checksumming, read-time
+/// verification, repair) only exists when a corruption plan is active, so
+/// it is charged as task stall time and lands in the `fault_stall`
+/// critical-path bucket — fault-free timelines stay byte-identical.
+pub(crate) fn checksum_micros(ctx: &Context, bytes: u64) -> u64 {
+    (ctx.cluster().cost().checksum(bytes).as_secs() * 1e6) as u64
 }
 
 /// Produce a partition's pipe, going through the cache when the RDD is
@@ -338,13 +360,39 @@ pub(crate) fn materialize<'a, T: Data>(
         };
     };
     if let Some((data, bytes, tier)) = meta.ctx.cache().get::<T>(meta.id, part) {
+        let faults = meta.ctx.cluster().faults();
+        let rotten = if faults.integrity_active() {
+            // Verify the stored block's checksum before trusting it.
+            tc.add_stall_micros(checksum_micros(&meta.ctx, bytes));
+            faults.take_corruption(IntegrityTier::Cache, meta.id, part, 0)
+        } else {
+            false
+        };
         match tier {
             CacheTier::Memory => tc.add_mem_read(bytes),
             CacheTier::Disk => tc.add_disk_read(bytes),
         }
-        tc.note_cache_hit();
-        tc.note_records_read(data.len() as u64);
-        return Pipe::Shared(data);
+        if !rotten {
+            tc.note_cache_hit();
+            tc.note_records_read(data.len() as u64);
+            return Pipe::Shared(data);
+        }
+        // Checksum mismatch on a cached/spilled partition. Cached blocks
+        // have no replicas, so the cheapest (and only) repair is lineage
+        // recompute: evict the poisoned entry and fall through to the miss
+        // path below, which recomputes and re-caches a clean copy.
+        meta.ctx.cache().evict(meta.id, part);
+        meta.ctx.metrics().note_recovery(&RecoveryCounters {
+            recomputed_partitions: 1,
+            integrity: IntegrityCounters {
+                corruptions_injected: 1,
+                corruptions_detected: 1,
+                corruptions_repaired: 1,
+                repaired_via_recompute: 1,
+                ..IntegrityCounters::default()
+            },
+            ..RecoveryCounters::default()
+        });
     }
     tc.note_cache_miss();
     if meta.ctx.cache().take_lost(meta.id, part) {
@@ -363,6 +411,10 @@ pub(crate) fn materialize<'a, T: Data>(
     meta.ctx
         .cache()
         .put(meta.id, part, node, Arc::clone(&data), bytes, level);
+    if meta.ctx.cluster().faults().integrity_active() {
+        // Checksum the block at write time so later reads can verify it.
+        tc.add_stall_micros(checksum_micros(&meta.ctx, bytes));
+    }
     Pipe::Shared(data)
 }
 
@@ -664,6 +716,20 @@ pub(crate) struct HdfsTextRdd {
     pub(crate) splits: Vec<Split>,
 }
 
+impl HdfsTextRdd {
+    /// Replica count of the block enclosing `split` — the copies a
+    /// verifying reader can fall back to when one fails its checksum.
+    fn split_replicas(&self, split: &Split) -> u32 {
+        self.file
+            .blocks()
+            .iter()
+            .find(|b| b.lines.start <= split.lines.start && split.lines.start < b.lines.end)
+            .map(|b| b.replicas.len())
+            .unwrap_or(1)
+            .max(1) as u32
+    }
+}
+
 impl RddImpl<String> for HdfsTextRdd {
     fn meta(&self) -> &RddMeta {
         &self.meta
@@ -686,6 +752,31 @@ impl RddImpl<String> for HdfsTextRdd {
             tc.add_net(split.bytes);
         }
         charge_transient_hdfs_read(&self.meta.ctx, tc, self.meta.id, part, split.bytes);
+        let faults = self.meta.ctx.cluster().faults();
+        if faults.integrity_active() {
+            // Verify the fetched replica's checksum; a mismatch repairs by
+            // re-fetching from the next replica (and rewriting the rotten
+            // copy clean), walking the replica set until one verifies.
+            // Preflight guarantees at least one clean copy exists.
+            for copy in 0..self.split_replicas(split) {
+                tc.add_stall_micros(checksum_micros(&self.meta.ctx, split.bytes));
+                if faults.take_corruption(IntegrityTier::Hdfs, self.meta.id, part, copy) {
+                    tc.add_net(split.bytes);
+                    self.meta.ctx.metrics().note_recovery(&RecoveryCounters {
+                        integrity: IntegrityCounters {
+                            corruptions_injected: 1,
+                            corruptions_detected: 1,
+                            corruptions_repaired: 1,
+                            repaired_via_replica: 1,
+                            ..IntegrityCounters::default()
+                        },
+                        ..RecoveryCounters::default()
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
         let lines = &self.file.lines()[split.lines.clone()];
         tc.add_records_out(lines.len() as u64);
         tc.note_records_read(lines.len() as u64);
@@ -693,6 +784,29 @@ impl RddImpl<String> for HdfsTextRdd {
     }
 
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        let faults = self.meta.ctx.cluster().faults();
+        if !faults.integrity_active() {
+            return Ok(());
+        }
+        for (part, split) in self.splits.iter().enumerate() {
+            let replicas = self.split_replicas(split);
+            let all_rotten = (0..replicas)
+                .all(|copy| faults.corrupted(IntegrityTier::Hdfs, self.meta.id, part, copy));
+            if all_rotten {
+                return Err(crate::exec::ExecError::IntegrityFailure {
+                    detail: format!(
+                        "hdfs file `{}` rdd{} split {part}: all {replicas} replicas failed \
+                         checksum verification — no clean copy reachable",
+                        self.file.name(),
+                        self.meta.id
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Source: an RDD materialized to simulated HDFS by [`Rdd::checkpoint`].
@@ -763,6 +877,31 @@ impl<T: Data> RddImpl<T> for CheckpointRdd<T> {
         }
         tc.add_ser(block.bytes); // deserialize the stored block
         charge_transient_hdfs_read(ctx, tc, self.meta.id, part, block.bytes);
+        let faults = ctx.cluster().faults();
+        if faults.integrity_active() {
+            // Verify the fetched replica; on mismatch re-fetch from the
+            // next replica (rewriting the rotten copy clean) until one
+            // verifies. Preflight guarantees a clean copy exists — the
+            // all-poisoned case fails the job typed before this stage runs.
+            for copy in 0..block.replicas.len().max(1) as u32 {
+                tc.add_stall_micros(checksum_micros(ctx, block.bytes));
+                if faults.take_corruption(IntegrityTier::Hdfs, self.meta.id, part, copy) {
+                    tc.add_net(block.bytes);
+                    ctx.metrics().note_recovery(&RecoveryCounters {
+                        integrity: IntegrityCounters {
+                            corruptions_injected: 1,
+                            corruptions_detected: 1,
+                            corruptions_repaired: 1,
+                            repaired_via_replica: 1,
+                            ..IntegrityCounters::default()
+                        },
+                        ..RecoveryCounters::default()
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
         ctx.metrics().note_recovery(&RecoveryCounters {
             checkpoint_reads: 1,
             ..RecoveryCounters::default()
@@ -773,6 +912,36 @@ impl<T: Data> RddImpl<T> for CheckpointRdd<T> {
     }
 
     fn collect_shuffle_deps(&self, _out: &mut Vec<Arc<dyn ShuffleStage>>) {}
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        let faults = self.meta.ctx.cluster().faults();
+        if !faults.integrity_active() {
+            return Ok(());
+        }
+        let hdfs = self.meta.ctx.cluster().hdfs();
+        for part in 0..self.partitions {
+            // A missing block (every replica's node died) keeps its existing
+            // panic-on-read behaviour; preflight only vets blocks that are
+            // still present but may be silently rotten.
+            let Some(block) = hdfs.checkpoint_get(self.meta.id, part) else {
+                continue;
+            };
+            let replicas = block.replicas.len().max(1) as u32;
+            let all_rotten = (0..replicas)
+                .all(|copy| faults.corrupted(IntegrityTier::Hdfs, self.meta.id, part, copy));
+            if all_rotten {
+                return Err(crate::exec::ExecError::IntegrityFailure {
+                    detail: format!(
+                        "checkpoint rdd{} partition {part}: all {replicas} replicas failed \
+                         checksum verification and lineage was truncated — nothing left to \
+                         replay",
+                        self.meta.id
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 pub(crate) struct MapRdd<P: Data, T: Data> {
@@ -810,6 +979,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapRdd<P, T> {
 
     fn lineage_len(&self) -> u64 {
         self.parent.lineage_len() + 1
+    }
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        self.parent.preflight()
     }
 }
 
@@ -852,6 +1025,10 @@ impl<P: Data, T: Data> RddImpl<T> for FlatMapRdd<P, T> {
     fn lineage_len(&self) -> u64 {
         self.parent.lineage_len() + 1
     }
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        self.parent.preflight()
+    }
 }
 
 pub(crate) struct FilterRdd<T: Data> {
@@ -889,6 +1066,10 @@ impl<T: Data> RddImpl<T> for FilterRdd<T> {
 
     fn lineage_len(&self) -> u64 {
         self.parent.lineage_len() + 1
+    }
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        self.parent.preflight()
     }
 }
 
@@ -932,6 +1113,10 @@ impl<P: Data, T: Data> RddImpl<T> for MapPartitionsRdd<P, T> {
 
     fn lineage_len(&self) -> u64 {
         self.parent.lineage_len() + 1
+    }
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        self.parent.preflight()
     }
 }
 
@@ -989,5 +1174,12 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
             .max()
             .unwrap_or(0)
             + 1
+    }
+
+    fn preflight(&self) -> Result<(), crate::exec::ExecError> {
+        for p in &self.parents {
+            p.preflight()?;
+        }
+        Ok(())
     }
 }

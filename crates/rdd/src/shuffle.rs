@@ -31,8 +31,8 @@ use std::hash::Hash;
 use std::sync::{Arc, Weak};
 use yafim_cluster::sync::Mutex;
 use yafim_cluster::{
-    bucket_of, fx_hash64, slice_bytes, EventKind, FxHashMap, NodeId, RecoveryCounters,
-    TransientKind,
+    bucket_of, fx_hash64, slice_bytes, EventKind, FxHashMap, IntegrityCounters, IntegrityTier,
+    NodeId, RecoveryCounters, TransientKind,
 };
 
 /// A shuffle's map side, to be run before any stage that reads it.
@@ -266,6 +266,8 @@ where
 
         type MapOut<K, V> = Vec<Vec<(K, V)>>;
         let task_parts = map_parts.clone();
+        let faults = ctx.cluster().faults().clone();
+        let cost = ctx.cluster().cost().clone();
         let (results, executed_on): (Vec<MapOut<K, V>>, Vec<NodeId>) = exec::try_run_stage(
             &ctx,
             label,
@@ -318,6 +320,11 @@ where
                 tc.add_records_out(total_records);
                 tc.add_ser(total_bytes);
                 tc.add_disk_write(total_bytes); // shuffle file write
+                if faults.integrity_active() {
+                    // Checksum the shuffle file at write time so reduce-side
+                    // fetches can verify it.
+                    tc.add_stall_micros((cost.checksum(total_bytes).as_secs() * 1e6) as u64);
+                }
                 tc.note_shuffle_write(total_bytes);
                 tc.note_records_written(total_records);
                 tc.note_materialized(total_bytes);
@@ -387,6 +394,48 @@ where
         });
         self.run_map_stage(Some(&lost))
     }
+
+    /// Verify every reduce partition's map outputs against their write-time
+    /// checksums. A mismatch means a shuffle file silently rotted on disk:
+    /// the driver reacts as it does to a fetch failure — it resubmits the
+    /// (deterministically chosen) victim map task, rewriting the rotten
+    /// file clean. Runs at shuffle preparation; the controller's healed set
+    /// guarantees each rotten copy is detected (and counted) exactly once,
+    /// so later preparations of the same shuffle verify clean.
+    fn apply_corruption_repairs(&self) -> Result<(), ExecError> {
+        let faults = self.ctx().cluster().faults().clone();
+        if !faults.integrity_active() {
+            return Ok(());
+        }
+        let maps = self.parent.num_partitions();
+        if maps == 0 {
+            return Ok(());
+        }
+        let mut lost: BTreeSet<usize> = BTreeSet::new();
+        let mut detected = 0u64;
+        for r in 0..self.partitions {
+            if faults.take_corruption(IntegrityTier::Shuffle, self.meta.id, r, 0) {
+                detected += 1;
+                lost.insert(fx_hash64(&(self.meta.id, r as u64, 0xbaddu64)) as usize % maps);
+            }
+        }
+        if lost.is_empty() {
+            return Ok(());
+        }
+        let lost: Vec<usize> = lost.into_iter().collect();
+        self.ctx().metrics().note_recovery(&RecoveryCounters {
+            recomputed_partitions: lost.len() as u64,
+            integrity: IntegrityCounters {
+                corruptions_injected: detected,
+                corruptions_detected: detected,
+                corruptions_repaired: detected,
+                repaired_via_resubmit: detected,
+                ..IntegrityCounters::default()
+            },
+            ..RecoveryCounters::default()
+        });
+        self.run_map_stage(Some(&lost))
+    }
 }
 
 impl<K, V> ShuffleStage for ReduceByKeyRdd<K, V>
@@ -422,10 +471,11 @@ where
                 });
                 self.run_map_stage(Some(&lost))?;
             }
-            return Ok(());
+            return self.apply_corruption_repairs();
         }
         self.run_map_stage(None)?;
-        self.apply_transient_escalations()
+        self.apply_transient_escalations()?;
+        self.apply_corruption_repairs()
     }
 }
 
@@ -462,6 +512,13 @@ where
         tc.add_disk_read(local);
         tc.add_net(bytes - local);
         tc.add_ser(bytes);
+        if self.ctx().cluster().faults().integrity_active() {
+            // Read-time verification of the fetched buckets. Rotten shuffle
+            // files were already detected and rewritten at preparation
+            // (`apply_corruption_repairs`), so by fetch time every copy
+            // verifies clean — this charges the verification itself.
+            tc.add_stall_micros(crate::rdd::checksum_micros(self.ctx(), bytes));
+        }
         tc.note_shuffle_read(bytes);
 
         // Seeded transient-fetch ladder: each retry re-fetches the
@@ -534,5 +591,9 @@ where
         // A stage whose pipeline starts at this RDD fetches this shuffle's
         // map output.
         Some(self.meta.id)
+    }
+
+    fn preflight(&self) -> Result<(), ExecError> {
+        self.parent.preflight()
     }
 }

@@ -208,3 +208,43 @@ fn buckets_tile_makespan_under_transient_faults() {
         assert_sums_to_makespan(&c, case, "transient-faults");
     }
 }
+
+#[test]
+fn buckets_tile_makespan_under_silent_corruption() {
+    let mut rng = Rng(0xbadd_c0de_5eed);
+    for case in 0..CASES {
+        let data = rng.data(100);
+        let parts = rng.range(2, 8) as usize;
+        let len = rng.range(1, 4) as usize;
+        let plan = random_plan(&mut rng, len);
+        let rate = rng.range(1, 40) as f64 / 100.0;
+        let reference = {
+            let c = ctx_with(ExecMode::Fused);
+            build(&c, &data, parts, &plan, true).collect()
+        };
+        let c = ctx_with(ExecMode::Fused);
+        c.cluster().faults().set_plan(
+            FaultPlan::seeded(rng.next())
+                .corrupt_shuffle(rate)
+                .corrupt_cache(rate)
+                .corrupt_hdfs(rate),
+        );
+        let rdd = build(&c, &data, parts, &plan, true);
+        assert_eq!(
+            rdd.collect(),
+            reference,
+            "corruption repair diverged (case {case})"
+        );
+        // Verification, repair stalls and resubmitted map work must all
+        // land inside the bucket tiling.
+        assert_sums_to_makespan(&c, case, "silent-corruption");
+        let rec = c.cluster().metrics().snapshot().recovery;
+        assert_eq!(
+            rec.integrity.corruptions_detected, rec.integrity.corruptions_injected,
+            "case {case}: detection must be total"
+        );
+        // A second collect re-verifies (now-healed) data: still clean.
+        rdd.collect();
+        assert_sums_to_makespan(&c, case, "silent-corruption-reuse");
+    }
+}
