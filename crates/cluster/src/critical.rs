@@ -62,6 +62,9 @@ pub struct CriticalPathBuckets {
     /// All-cores-idle time inside stages that recorded failures: resubmit
     /// delays, blacklisting windows, recomputation waves.
     pub fault_recovery: f64,
+    /// Time stages spent waiting in the multi-job scheduler queue before
+    /// any setup work (FIFO pool serialization).
+    pub scheduler_queue: f64,
     /// Stage overhead, trailing waves, and all-cores-idle scheduling holes
     /// in fault-free stages.
     pub scheduler_idle: f64,
@@ -82,7 +85,7 @@ impl CriticalPathBuckets {
     }
 
     /// The buckets with their canonical names, in report order.
-    pub fn named(&self) -> [(&'static str, f64); 12] {
+    pub fn named(&self) -> [(&'static str, f64); 13] {
         [
             ("compute", self.compute),
             ("shuffle_read", self.shuffle_read),
@@ -92,6 +95,7 @@ impl CriticalPathBuckets {
             ("checkpoint", self.checkpoint),
             ("fault_stall", self.fault_stall),
             ("fault_recovery", self.fault_recovery),
+            ("scheduler_queue", self.scheduler_queue),
             ("scheduler_idle", self.scheduler_idle),
             ("driver", self.driver),
             ("hdfs_io", self.hdfs_io),
@@ -396,15 +400,13 @@ fn add_stage(
     let stage_end = span.end().as_secs();
     // With tasks missing from the ring the window reconstruction would be
     // wrong; fall back to a proportional split of the whole interval using
-    // the (complete) merged stage profile.
+    // the (complete) merged stage profile. The recorded queue wait is still
+    // exact, so it is peeled off first.
     if tasks.is_empty() || tasks.len() as u64 != span.tasks {
-        split_busy(
-            b,
-            (stage_end - stage_start) * scale,
-            &span.profile,
-            &span.recovery,
-            cost,
-        );
+        let total = (stage_end - stage_start) * scale;
+        let queue = (span.queue.as_secs() * scale).min(total);
+        b.scheduler_queue += queue;
+        split_busy(b, total - queue, &span.profile, &span.recovery, cost);
         return;
     }
 
@@ -417,10 +419,14 @@ fn add_stage(
         .map(|t| t.end().as_secs())
         .fold(f64::NEG_INFINITY, f64::max);
 
-    // Stage overhead before the first launch and trailing time after the
-    // last task (heartbeat waves) are scheduler bookkeeping.
-    b.scheduler_idle +=
-        ((window_start - stage_start).max(0.0) + (stage_end - window_end).max(0.0)) * scale;
+    // The pre-window time is queue wait (recorded exactly on the span)
+    // followed by stage overhead; the queue share goes to its own bucket,
+    // the rest plus trailing time (heartbeat waves) is scheduler
+    // bookkeeping.
+    let pre_window = (window_start - stage_start).max(0.0);
+    let queue = span.queue.as_secs().min(pre_window);
+    b.scheduler_queue += queue * scale;
+    b.scheduler_idle += (pre_window - queue + (stage_end - window_end).max(0.0)) * scale;
 
     // Union of task intervals: wall time with at least one task running.
     let mut intervals: Vec<(f64, f64)> = tasks
@@ -607,6 +613,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::from_secs(0.5),
             trailing: SimDuration::from_secs(0.25),
             tasks: vec![worked_task(0, 0.0, 2.0, 100, 0)],
@@ -631,6 +638,7 @@ mod tests {
             label: "fetchy".into(),
             kind: EventKind::Stage,
             shuffle_id: Some(1),
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             // All network bytes are shuffle reads: the busy time should be
@@ -665,6 +673,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![worked_task(0, 0.0, 1.0, 10, 0)],
@@ -688,6 +697,7 @@ mod tests {
                 label: "faulty".into(),
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue: SimDuration::ZERO,
                 overhead: SimDuration::ZERO,
                 trailing: SimDuration::ZERO,
                 // Attempt at [0,1), resubmit delay, retry at [2,3): the
@@ -715,6 +725,7 @@ mod tests {
             label: "gappy".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![
@@ -731,6 +742,63 @@ mod tests {
     }
 
     #[test]
+    fn queue_wait_gets_its_own_bucket_and_still_tiles() {
+        let m = Metrics::new();
+        m.record_stage(StageExecution {
+            label: "fifo successor".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            queue: SimDuration::from_secs(3.0),
+            overhead: SimDuration::from_secs(0.5),
+            trailing: SimDuration::ZERO,
+            tasks: vec![worked_task(0, 0.0, 1.0, 10, 0)],
+        });
+        let r = assert_sums(&m);
+        assert!((r.makespan - 4.5).abs() < EPS);
+        assert!(
+            (r.buckets.scheduler_queue - 3.0).abs() < EPS,
+            "{:?}",
+            r.buckets
+        );
+        assert!(
+            (r.buckets.scheduler_idle - 0.5).abs() < EPS,
+            "queue wait must not inflate scheduler_idle: {:?}",
+            r.buckets
+        );
+        assert!((r.buckets.compute - 1.0).abs() < EPS, "{:?}", r.buckets);
+    }
+
+    #[test]
+    fn queued_stage_with_dropped_tasks_still_attributes_queue() {
+        let m = Metrics::with_capacity(MetricsCapacity {
+            events: 16,
+            jobs: 16,
+            stages: 16,
+            tasks: 1,
+        });
+        // Two tasks but capacity one: the span survives, a task is dropped,
+        // forcing the proportional fallback path.
+        m.record_stage(StageExecution {
+            label: "queued, truncated".into(),
+            kind: EventKind::Stage,
+            shuffle_id: None,
+            queue: SimDuration::from_secs(2.0),
+            overhead: SimDuration::ZERO,
+            trailing: SimDuration::ZERO,
+            tasks: vec![
+                worked_task(0, 0.0, 1.0, 10, 0),
+                worked_task(1, 0.0, 1.0, 10, 0),
+            ],
+        });
+        let r = assert_sums(&m);
+        assert!(
+            (r.buckets.scheduler_queue - 2.0).abs() < EPS,
+            "{:?}",
+            r.buckets
+        );
+    }
+
+    #[test]
     fn stall_micros_become_fault_stall() {
         let m = Metrics::new();
         let mut t = task(0, 0, 0, 0.0, 2.0);
@@ -740,6 +808,7 @@ mod tests {
             label: "stalled".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![t],
@@ -762,6 +831,7 @@ mod tests {
                 label: format!("s{i}"),
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue: SimDuration::ZERO,
                 overhead: SimDuration::ZERO,
                 trailing: SimDuration::ZERO,
                 tasks: vec![worked_task(0, 0.0, 1.0, 10, 0)],
@@ -794,6 +864,7 @@ mod tests {
             label: "skewed".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks,
@@ -817,6 +888,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::from_secs(0.5),
             trailing: SimDuration::ZERO,
             tasks: vec![worked_task(0, 0.0, 1.0, 10, 0)],

@@ -374,6 +374,7 @@ mod tests {
             label: "count rdd2".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![
@@ -403,6 +404,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, shuffle_profile())],
@@ -438,6 +440,7 @@ mod tests {
                 label: format!("s{i}"),
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue: SimDuration::ZERO,
                 overhead: SimDuration::ZERO,
                 trailing: SimDuration::ZERO,
                 tasks: vec![task(0, 1.0, TaskProfile::new())],
@@ -461,6 +464,7 @@ mod tests {
                 label: "flaky stage".into(),
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue: SimDuration::ZERO,
                 overhead: SimDuration::ZERO,
                 trailing: SimDuration::ZERO,
                 tasks: vec![task(0, 1.0, TaskProfile::new())],
@@ -494,6 +498,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, TaskProfile::new())],
@@ -522,6 +527,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, TaskProfile::new())],
@@ -556,6 +562,7 @@ mod tests {
             label: "clean".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, TaskProfile::new())],
@@ -573,6 +580,7 @@ mod tests {
             label: "s".into(),
             kind: EventKind::Stage,
             shuffle_id: None,
+            queue: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             trailing: SimDuration::ZERO,
             tasks: vec![task(0, 1.0, TaskProfile::new())],

@@ -16,9 +16,25 @@
 //!   a single node's cores;
 //! * a task with no preference runs on the earliest-available core anywhere,
 //!   ties broken by core index.
+//!
+//! The global earliest-core search runs on a binary heap with lazy
+//! deletion ordered by `(free_time, core_index)`, which reproduces the
+//! linear scan's lowest-index tie-break while doing O(log cores) work per
+//! decision instead of O(cores). [`DetailedSchedule::decision_units`]
+//! counts the heap operations actually performed, so benches can assert
+//! the scheduler's decision overhead stays sublinear in cluster size
+//! without touching the host clock.
+//!
+//! A scheduler may be restricted to a **node slice** — a contiguous run of
+//! nodes granted to one job by the [`crate::jobs::JobQueue`]. Placements
+//! always report absolute cluster node ids; preferences for nodes outside
+//! the slice are remapped deterministically into it (the data moved when
+//! the job's executor set shrank).
 
 use crate::spec::{ClusterSpec, NodeId};
 use crate::time::{SimDuration, SimInstant};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Default locality wait before a task gives up on its preferred node.
 pub const DEFAULT_LOCALITY_WAIT: f64 = 0.3;
@@ -136,13 +152,23 @@ pub struct DetailedSchedule {
     pub outcome: ScheduleOutcome,
     /// One placement per input task.
     pub placements: Vec<TaskPlacement>,
+    /// Deterministic count of scheduler decisions taken (heap pushes and
+    /// pops for the heap path, cores examined for the fault-aware linear
+    /// path). A pure measure of scheduling overhead: independent of the
+    /// host clock, comparable across cluster sizes.
+    pub decision_units: u64,
 }
 
-/// Greedy earliest-core list scheduler over the virtual cluster.
+/// Greedy earliest-core list scheduler over the virtual cluster (or a
+/// contiguous node slice of it).
 #[derive(Clone, Debug)]
 pub struct VirtualScheduler {
     spec: ClusterSpec,
     locality_wait: SimDuration,
+    /// First node of the slice this scheduler may place tasks on.
+    node_lo: usize,
+    /// Number of nodes in the slice.
+    node_count: usize,
 }
 
 impl VirtualScheduler {
@@ -154,9 +180,28 @@ impl VirtualScheduler {
     /// A scheduler with an explicit locality wait (`SimDuration::ZERO`
     /// disables locality entirely; a very large value pins tasks strictly).
     pub fn with_locality_wait(spec: ClusterSpec, locality_wait: SimDuration) -> Self {
+        let nodes = spec.nodes as usize;
+        Self::with_slice(spec, locality_wait, 0, nodes)
+    }
+
+    /// A scheduler restricted to the contiguous node slice
+    /// `[node_lo, node_lo + node_count)` — the executor set one job holds
+    /// under the multi-job queue. `node_count` is clamped to stay inside
+    /// the topology and to at least one node.
+    pub fn with_slice(
+        spec: ClusterSpec,
+        locality_wait: SimDuration,
+        node_lo: usize,
+        node_count: usize,
+    ) -> Self {
+        let nodes = spec.nodes as usize;
+        let node_lo = node_lo.min(nodes.saturating_sub(1));
+        let node_count = node_count.clamp(1, nodes - node_lo);
         VirtualScheduler {
             spec,
             locality_wait,
+            node_lo,
+            node_count,
         }
     }
 
@@ -170,6 +215,24 @@ impl VirtualScheduler {
         self.locality_wait
     }
 
+    /// The node slice this scheduler places tasks on, as
+    /// `(first_node, node_count)`.
+    pub fn node_slice(&self) -> (usize, usize) {
+        (self.node_lo, self.node_count)
+    }
+
+    /// Map a preferred node into the scheduler's slice: identity when the
+    /// node is inside it, deterministic modular remap when the job's
+    /// executor set no longer covers it. Returns a slice-relative index.
+    pub fn rel_node(&self, node: NodeId) -> usize {
+        let n = node.index();
+        if n >= self.node_lo && n < self.node_lo + self.node_count {
+            n - self.node_lo
+        } else {
+            n % self.node_count
+        }
+    }
+
     /// Schedule `tasks` (in order) and return the outcome.
     pub fn schedule(&self, tasks: &[TaskSpec]) -> ScheduleOutcome {
         self.schedule_detailed(tasks).outcome
@@ -178,14 +241,37 @@ impl VirtualScheduler {
     /// Like [`VirtualScheduler::schedule`], also reporting where and when
     /// each task ran — the raw material for per-task spans and traces.
     pub fn schedule_detailed(&self, tasks: &[TaskSpec]) -> DetailedSchedule {
-        let nodes = self.spec.nodes as usize;
         let cores_per_node = self.spec.cores_per_node as usize;
-        let total_cores = nodes * cores_per_node;
+        let total_cores = self.node_count * cores_per_node;
 
-        // free[i]: time core i becomes free. Cores are grouped by node:
-        // node n owns cores n*cores_per_node .. (n+1)*cores_per_node.
+        // free[i]: time (slice-relative) core i becomes free. Cores are
+        // grouped by node: slice node n owns cores n*cores_per_node ..
+        // (n+1)*cores_per_node.
         let mut free = vec![SimDuration::ZERO; total_cores];
         let mut count = vec![0usize; total_cores];
+
+        // Min-heap over (free_time, core) with lazy deletion: every core
+        // always has exactly one *current* entry (matching free[core]);
+        // superseded entries are dropped when they surface. Lexicographic
+        // order reproduces the linear scan's lowest-index tie-break.
+        let mut heap: BinaryHeap<Reverse<(SimDuration, usize)>> = (0..total_cores)
+            .map(|c| Reverse((SimDuration::ZERO, c)))
+            .collect();
+        let mut units = 0u64;
+        // The current global earliest core, discarding stale entries.
+        let valid_top = |heap: &mut BinaryHeap<Reverse<(SimDuration, usize)>>,
+                         free: &[SimDuration],
+                         units: &mut u64|
+         -> (SimDuration, usize) {
+            loop {
+                let Reverse((t, c)) = *heap.peek().expect("every core keeps a live entry");
+                if t == free[c] {
+                    return (t, c);
+                }
+                heap.pop();
+                *units += 1;
+            }
+        };
 
         let earliest_in = |free: &[SimDuration], lo: usize, hi: usize| -> usize {
             let mut best = lo;
@@ -202,31 +288,34 @@ impl VirtualScheduler {
         for t in tasks {
             let core = match t.preferred_node {
                 Some(node) => {
-                    let lo = node.index() * cores_per_node;
+                    let lo = self.rel_node(node) * cores_per_node;
                     let local = earliest_in(&free, lo, lo + cores_per_node);
+                    units += 1;
                     if free[local] <= self.locality_wait {
                         local
                     } else {
                         // Delay scheduling expired: run anywhere. (The input
                         // bytes a spilled task reads remotely are a rounding
                         // error next to its compute; the duration is kept.)
-                        let global = earliest_in(&free, 0, total_cores);
-                        if free[local] <= free[global] {
+                        let (global_free, global) = valid_top(&mut heap, &free, &mut units);
+                        if free[local] <= global_free {
                             local
                         } else {
                             global
                         }
                     }
                 }
-                None => earliest_in(&free, 0, total_cores),
+                None => valid_top(&mut heap, &free, &mut units).1,
             };
             placements.push(TaskPlacement {
-                node: NodeId((core / cores_per_node) as u32),
+                node: NodeId((self.node_lo + core / cores_per_node) as u32),
                 core: core % cores_per_node,
                 start: free[core],
                 duration: t.duration,
             });
             free[core] += t.duration;
+            heap.push(Reverse((free[core], core)));
+            units += 1;
             count[core] += 1;
             total_busy += t.duration;
         }
@@ -245,6 +334,7 @@ impl VirtualScheduler {
                 waves,
             },
             placements,
+            decision_units: units,
         }
     }
 }
@@ -311,6 +401,25 @@ mod tests {
             .collect();
         let out = s.schedule(&tasks);
         assert_eq!(out.makespan.as_secs(), 1.0, "second task ran on node 1");
+    }
+
+    #[test]
+    fn zero_locality_wait_disables_delay_scheduling() {
+        // wait = 0: the *second* task already finds its node's core busy
+        // (queue > 0) and spills immediately — the "no locality" extreme.
+        let s = VirtualScheduler::with_locality_wait(spec(2, 1), SimDuration::ZERO);
+        let tasks: Vec<_> = (0..2)
+            .map(|_| TaskSpec::local(SimDuration::from_secs(0.1), NodeId(0)))
+            .collect();
+        let out = s.schedule(&tasks);
+        assert_eq!(
+            out.makespan.as_secs(),
+            0.1,
+            "with zero wait even a 0.1s queue spills the task over"
+        );
+        // Default wait keeps the same bag local (queue 0.1 <= 0.3).
+        let local = VirtualScheduler::new(spec(2, 1)).schedule(&tasks);
+        assert!((local.makespan.as_secs() - 0.2).abs() < 1e-9, "{local:?}");
     }
 
     #[test]
@@ -393,6 +502,138 @@ mod tests {
         let d = s.schedule_detailed(&tasks);
         assert!(d.placements.iter().all(|p| p.node == NodeId(1)));
         assert_eq!(d.placements[1].start.as_secs(), 1.0, "second task queued");
+    }
+
+    /// Reference implementation: the pre-heap linear scan, kept verbatim to
+    /// pin the heap path's placements bit-for-bit.
+    fn linear_reference(s: &VirtualScheduler, tasks: &[TaskSpec]) -> Vec<TaskPlacement> {
+        let cores_per_node = s.spec().cores_per_node as usize;
+        let (node_lo, node_count) = s.node_slice();
+        let total_cores = node_count * cores_per_node;
+        let mut free = vec![SimDuration::ZERO; total_cores];
+        let earliest_in = |free: &[SimDuration], lo: usize, hi: usize| -> usize {
+            let mut best = lo;
+            for i in lo + 1..hi {
+                if free[i] < free[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let mut placements = Vec::new();
+        for t in tasks {
+            let core = match t.preferred_node {
+                Some(node) => {
+                    let lo = s.rel_node(node) * cores_per_node;
+                    let local = earliest_in(&free, lo, lo + cores_per_node);
+                    if free[local] <= s.locality_wait() {
+                        local
+                    } else {
+                        let global = earliest_in(&free, 0, total_cores);
+                        if free[local] <= free[global] {
+                            local
+                        } else {
+                            global
+                        }
+                    }
+                }
+                None => earliest_in(&free, 0, total_cores),
+            };
+            placements.push(TaskPlacement {
+                node: NodeId((node_lo + core / cores_per_node) as u32),
+                core: core % cores_per_node,
+                start: free[core],
+                duration: t.duration,
+            });
+            free[core] += t.duration;
+        }
+        placements
+    }
+
+    #[test]
+    fn heap_path_matches_linear_reference_bit_for_bit() {
+        // Pseudo-random mixed bags across several topologies: the heap's
+        // (free, core) ordering must reproduce the linear scan exactly,
+        // including lowest-index tie-breaks on fully idle clusters.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (nodes, cores) in [(1u32, 1u32), (3, 2), (8, 4), (13, 3)] {
+            let s = VirtualScheduler::new(spec(nodes, cores));
+            let tasks: Vec<TaskSpec> = (0..200)
+                .map(|_| {
+                    let dur = SimDuration::from_secs((next() % 50) as f64 * 0.01);
+                    if next() % 3 == 0 {
+                        TaskSpec::local(dur, NodeId((next() % nodes as u64) as u32))
+                    } else {
+                        TaskSpec::anywhere(dur)
+                    }
+                })
+                .collect();
+            let d = s.schedule_detailed(&tasks);
+            assert_eq!(
+                d.placements,
+                linear_reference(&s, &tasks),
+                "{nodes}x{cores}: heap diverged from the linear reference"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_units_stay_sublinear_in_cluster_size() {
+        // Same bag, 100 vs 1000 nodes: per-task decisions are O(log cores),
+        // so the counted units must grow far slower than the 10x node count.
+        let tasks: Vec<_> = (0..512)
+            .map(|i| TaskSpec::anywhere(SimDuration::from_secs(0.01 * (i % 7 + 1) as f64)))
+            .collect();
+        let small = VirtualScheduler::new(spec(100, 8)).schedule_detailed(&tasks);
+        let large = VirtualScheduler::new(spec(1000, 8)).schedule_detailed(&tasks);
+        assert!(small.decision_units > 0);
+        assert!(
+            large.decision_units <= small.decision_units * 2,
+            "units {} -> {} across a 10x node sweep",
+            small.decision_units,
+            large.decision_units
+        );
+    }
+
+    #[test]
+    fn node_slice_confines_placements_and_remaps_preferences() {
+        // Nodes [4, 8) of a 12-node cluster: everything lands inside the
+        // slice, and a preference for node 1 (outside) remaps into it.
+        let s = VirtualScheduler::with_slice(
+            spec(12, 2),
+            SimDuration::from_secs(DEFAULT_LOCALITY_WAIT),
+            4,
+            4,
+        );
+        let mut tasks: Vec<_> = (0..16)
+            .map(|_| TaskSpec::anywhere(SimDuration::from_secs(1.0)))
+            .collect();
+        tasks.push(TaskSpec::local(SimDuration::from_secs(1.0), NodeId(1)));
+        tasks.push(TaskSpec::local(SimDuration::from_secs(1.0), NodeId(5)));
+        let d = s.schedule_detailed(&tasks);
+        assert!(d
+            .placements
+            .iter()
+            .all(|p| (4..8).contains(&(p.node.0 as usize))));
+        // 18 one-second tasks on 8 cores: two full waves plus a third.
+        assert_eq!(d.outcome.makespan.as_secs(), 3.0);
+        // The in-slice preference is honored exactly.
+        let pinned = d.placements.last().expect("non-empty");
+        assert_eq!(pinned.node, NodeId(5));
+    }
+
+    #[test]
+    fn slice_clamps_to_topology() {
+        let s = VirtualScheduler::with_slice(spec(4, 2), SimDuration::ZERO, 2, 100);
+        assert_eq!(s.node_slice(), (2, 2));
+        let s = VirtualScheduler::with_slice(spec(4, 2), SimDuration::ZERO, 9, 1);
+        assert_eq!(s.node_slice(), (3, 1));
     }
 
     #[test]

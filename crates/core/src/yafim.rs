@@ -121,6 +121,9 @@ pub struct YafimConfig {
     pub max_passes: usize,
     /// Phase-II hot-path configuration.
     pub phase2: Phase2Config,
+    /// Scheduler pool this run's jobs are attributed to (multi-job
+    /// scheduling; see `yafim_cluster::JobQueue`).
+    pub pool: String,
 }
 
 impl YafimConfig {
@@ -131,6 +134,7 @@ impl YafimConfig {
             min_partitions: 0,
             max_passes: 0,
             phase2: Phase2Config::paper(),
+            pool: "default".to_string(),
         }
     }
 
@@ -165,6 +169,9 @@ impl Yafim {
     /// transaction per line) on simulated HDFS.
     pub fn mine(&self, input: &str) -> Result<MinerRun, DfsError> {
         let ctx = &self.ctx;
+        // Attribute the whole run to its scheduler pool; the guard reports
+        // completion to any bound JobQueue ticket when dropped.
+        let _job = ctx.cluster().acquire_job(&self.config.pool, "yafim");
         let metrics = ctx.metrics().clone();
         let cost = ctx.cluster().cost().clone();
         let p2 = self.config.phase2.clone();

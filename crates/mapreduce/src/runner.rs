@@ -105,35 +105,52 @@ impl MrRunner {
     }
 
     /// Schedule one task wave, through the fault-aware path when a fault
-    /// plan is active on the cluster.
+    /// plan is active on the cluster. Admission goes through the multi-job
+    /// scheduler: the wave is placed within the job's executor grant and
+    /// any FIFO queue wait is returned for the caller to charge to the
+    /// wave's stage record.
     fn schedule_wave(
         &self,
         label: &str,
         specs: &[TaskSpec],
         retry_extra: Option<&[SimDuration]>,
-    ) -> Result<(DetailedSchedule, RecoveryCounters, SimDuration), MrError> {
+    ) -> Result<(DetailedSchedule, RecoveryCounters, SimDuration, SimDuration), MrError> {
+        let (queue, scheduler) = self.cluster.stage_admission();
         let faults = self.cluster.faults();
         if faults.active() {
             let fs = faults
                 .schedule_stage(
-                    &self.cluster.scheduler(),
+                    &scheduler,
                     specs,
                     retry_extra,
-                    self.cluster.metrics().now(),
+                    self.cluster.metrics().now() + queue,
                 )
                 .map_err(|source| MrError::Fault {
                     stage: label.to_string(),
                     source,
                 })?;
             let pad = fs.trailing_pad();
-            Ok((fs.schedule, fs.recovery, pad))
+            Ok((fs.schedule, fs.recovery, pad, queue))
         } else {
             Ok((
-                self.cluster.scheduler().schedule_detailed(specs),
+                scheduler.schedule_detailed(specs),
                 RecoveryCounters::default(),
                 SimDuration::ZERO,
+                queue,
             ))
         }
+    }
+
+    /// Post-stage scheduler bookkeeping for one recorded wave (queue-wait
+    /// attribution, decision units, shared-blacklist hits). MapReduce waves
+    /// never skew-split: Hadoop repartitions only between jobs.
+    fn record_wave(&self, queue: SimDuration, detailed: &DetailedSchedule) {
+        self.cluster.record_sched_stage(
+            queue,
+            detailed.decision_units,
+            self.cluster.faults().drain_shared_hits(),
+            0,
+        );
     }
 
     /// Execute one job: map → shuffle/sort → reduce → commit.
@@ -348,13 +365,14 @@ impl MrRunner {
             .collect();
         let reread: Vec<SimDuration> = splits.iter().map(|s| cost.net_transfer(s.bytes)).collect();
         let map_label = format!("{}: map", job.name);
-        let (detailed, recovery, pad) =
+        let (detailed, recovery, pad, queue) =
             self.schedule_wave(&map_label, &task_specs, Some(&reread))?;
         metrics.record_stage_with_recovery(
             StageExecution {
                 label: map_label,
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue,
                 overhead: SimDuration::ZERO,
                 // Each map wave ends on a heartbeat boundary.
                 trailing: SimDuration::from_secs(cost.mr_wave_latency)
@@ -377,6 +395,7 @@ impl MrRunner {
             },
             recovery,
         );
+        self.record_wave(queue, &detailed);
 
         // A node lost between map and reduce takes its completed map outputs
         // with it (they live on local disk, not in HDFS): re-execute just
@@ -406,7 +425,7 @@ impl MrRunner {
                         .iter()
                         .map(|&i| TaskSpec::anywhere(task_specs[i].duration + reread[i]))
                         .collect();
-                    let (re_detailed, re_recovery, re_pad) =
+                    let (re_detailed, re_recovery, re_pad, re_queue) =
                         self.schedule_wave(&resubmit_label, &resubmit_specs, None)?;
                     rec.merge(&re_recovery);
                     metrics.record_stage_with_recovery(
@@ -414,6 +433,7 @@ impl MrRunner {
                             label: resubmit_label,
                             kind: EventKind::Stage,
                             shuffle_id: None,
+                            queue: re_queue,
                             overhead: SimDuration::ZERO,
                             trailing: SimDuration::from_secs(cost.mr_wave_latency)
                                 * re_detailed.outcome.waves as f64
@@ -434,6 +454,7 @@ impl MrRunner {
                         },
                         rec,
                     );
+                    self.record_wave(re_queue, &re_detailed);
                 }
             }
         }
@@ -563,12 +584,14 @@ impl MrRunner {
             })
             .collect();
         let reduce_label = format!("{}: reduce", job.name);
-        let (detailed, recovery, pad) = self.schedule_wave(&reduce_label, &task_specs, None)?;
+        let (detailed, recovery, pad, queue) =
+            self.schedule_wave(&reduce_label, &task_specs, None)?;
         metrics.record_stage_with_recovery(
             StageExecution {
                 label: reduce_label,
                 kind: EventKind::Stage,
                 shuffle_id: None,
+                queue,
                 overhead: SimDuration::ZERO,
                 trailing: SimDuration::from_secs(cost.mr_wave_latency)
                     * detailed.outcome.waves as f64
@@ -590,6 +613,7 @@ impl MrRunner {
             },
             recovery,
         );
+        self.record_wave(queue, &detailed);
 
         // ---- commit & gather ----
         let mut pairs = Vec::new();

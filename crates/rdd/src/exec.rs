@@ -141,14 +141,53 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
         })
         .collect();
 
+    // Admit the stage through the multi-job scheduler: the returned
+    // scheduler is restricted to this job's executor grant (and dynamic
+    // allocation's current ramp), and `queue` is any FIFO pool wait to
+    // charge to this stage.
+    let (queue, scheduler) = cluster.stage_admission();
+
+    // Skew-aware splitting: the prior same-family stage's durations
+    // estimate this one's; straggler tasks are split into pieces for
+    // *placement only*, so real execution (and results) are untouched.
+    let family: String = label.chars().filter(|c| !c.is_ascii_digit()).collect();
+    let durs: Vec<SimDuration> = specs.iter().map(|s| s.duration).collect();
+    let splits = cluster.plan_skew_splits(&family, &durs);
+    let skew_splits: u64 = splits.iter().map(|&k| (k - 1) as u64).sum();
+    let mut owner: Vec<usize> = Vec::with_capacity(specs.len());
+    let sched_specs: Vec<TaskSpec> = if skew_splits > 0 {
+        let mut v = Vec::new();
+        for (part, (spec, &k)) in specs.iter().zip(&splits).enumerate() {
+            let piece = SimDuration::from_secs(spec.duration.as_secs() / k as f64);
+            for _ in 0..k {
+                v.push(TaskSpec {
+                    duration: piece,
+                    preferred_node: spec.preferred_node,
+                });
+                owner.push(part);
+            }
+            if k > 1 {
+                cluster.metrics().advance_with_event(
+                    SimDuration::ZERO,
+                    EventKind::Other,
+                    format!("skew split: {label} partition {part} x{k}"),
+                );
+            }
+        }
+        v
+    } else {
+        owner.extend(0..specs.len());
+        specs
+    };
+
     let faults = cluster.faults();
     let (detailed, recovery, trailing) = if faults.active() {
         // Node-loss instants are absolute; anchor them to this stage's task
-        // window (stage start + overhead).
+        // window (stage start + queue wait + overhead).
         let window_start =
-            cluster.metrics().now() + SimDuration::from_secs(cost.spark_stage_overhead);
+            cluster.metrics().now() + queue + SimDuration::from_secs(cost.spark_stage_overhead);
         let fs = faults
-            .schedule_stage(&cluster.scheduler(), &specs, None, window_start)
+            .schedule_stage(&scheduler, &sched_specs, None, window_start)
             .map_err(|source| ExecError::StageAborted {
                 stage: label.clone(),
                 source,
@@ -157,25 +196,43 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
         (fs.schedule, fs.recovery, pad)
     } else {
         (
-            cluster.scheduler().schedule_detailed(&specs),
+            scheduler.schedule_detailed(&sched_specs),
             RecoveryCounters::default(),
             SimDuration::ZERO,
         )
     };
 
-    let executed_on: Vec<NodeId> = detailed.placements.iter().map(|p| p.node).collect();
+    // Map piece placements back to partitions: a partition ran where its
+    // first piece ran; only the first piece carries the real profile so
+    // aggregate attribution stays exact.
+    let mut first_node: Vec<Option<NodeId>> = vec![None; partitions];
+    for (i, p) in detailed.placements.iter().enumerate() {
+        let part = owner[i];
+        if first_node[part].is_none() {
+            first_node[part] = Some(p.node);
+        }
+    }
+    let executed_on: Vec<NodeId> = first_node.into_iter().map(|n| n.expect("piece")).collect();
+    let mut carries_profile = vec![true; partitions];
     let tasks: Vec<TaskExecution> = detailed
         .placements
         .iter()
-        .zip(&outcomes)
         .enumerate()
-        .map(|(part, (placement, (_, profile)))| TaskExecution {
-            partition: part,
-            node: placement.node,
-            core: placement.core,
-            start: placement.start,
-            duration: placement.duration,
-            profile: *profile,
+        .map(|(i, placement)| {
+            let part = owner[i];
+            let profile = if std::mem::replace(&mut carries_profile[part], false) {
+                outcomes[part].1
+            } else {
+                TaskProfile::new()
+            };
+            TaskExecution {
+                partition: part,
+                node: placement.node,
+                core: placement.core,
+                start: placement.start,
+                duration: placement.duration,
+                profile,
+            }
         })
         .collect();
 
@@ -186,11 +243,20 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
             label,
             kind,
             shuffle_id,
+            queue,
             overhead: SimDuration::from_secs(cost.spark_stage_overhead),
             trailing,
             tasks,
         },
         recovery,
+    );
+    // After the clock advanced past the stage: the admission bookkeeping
+    // (idle-timeout reference point) and the sched.* attribution.
+    cluster.record_sched_stage(
+        queue,
+        detailed.decision_units,
+        faults.drain_shared_hits(),
+        skew_splits,
     );
 
     Ok((outcomes.into_iter().map(|(r, _)| r).collect(), executed_on))

@@ -31,7 +31,8 @@ fn usage() -> ! {
         "usage:
   yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
-                     [--phase2 <paper|opt>] [--nodes N] [--cores C] [--rules MIN_CONF] [--top K]
+                     [--phase2 <paper|opt>] [--nodes N] [--cores C] [--locality-wait SECS]
+                     [--rules MIN_CONF] [--top K]
                      [--fault-plan plan.json] [--timeline] [--report] [--trace out.json]
                      [--critical-path] [--manifest out.json]
   yafim-cli compare  --input <file.dat> --support <N|P%> [--nodes N] [--cores C]"
@@ -88,10 +89,28 @@ fn parse_dataset(s: &str) -> PaperDataset {
 fn cluster() -> SimCluster {
     let nodes: u32 = arg("--nodes").and_then(|s| s.parse().ok()).unwrap_or(12);
     let cores: u32 = arg("--cores").and_then(|s| s.parse().ok()).unwrap_or(8);
-    SimCluster::new(
+    let c = SimCluster::new(
         ClusterSpec::new(nodes.max(1), cores.max(1), 24 * 1024 * 1024 * 1024),
         CostModel::hadoop_era(),
-    )
+    );
+    // `--locality-wait SECS` — delay-scheduling threshold: how long a task
+    // waits for a core on its preferred node before spilling to any free
+    // core. 0 disables delay scheduling; large values pin tasks to their
+    // data. Virtual-time only: results never change.
+    if let Some(w) = arg("--locality-wait") {
+        match w.parse::<f64>() {
+            Ok(secs) if secs >= 0.0 => {
+                let mut cfg = c.scheduler_config();
+                cfg.locality_wait = secs;
+                c.set_scheduler_config(cfg);
+            }
+            _ => {
+                eprintln!("bad --locality-wait (expected seconds >= 0): {w}");
+                exit(2)
+            }
+        }
+    }
+    c
 }
 
 fn load_transactions(path: &str) -> Vec<Vec<u32>> {
@@ -303,6 +322,7 @@ fn cmd_mine() {
                 ),
                 ("nodes", (c.spec().nodes as u64).into()),
                 ("cores_per_node", (c.spec().cores_per_node as u64).into()),
+                ("locality_wait", c.scheduler_config().locality_wait.into()),
             ]);
             let mut manifest =
                 yafim::cluster::RunManifest::capture("yafim-cli mine", &miner, dataset, config, c);
