@@ -7,12 +7,16 @@
 //!    rather than the hash tree data structure.
 //! 2. **YAFIM Phase II** — the paper-faithful hash-tree engine vs the dense
 //!    projection + triangular pass-2 counter vs trie matching vs everything
-//!    combined (projection + triangle + trie + cross-pass trimming), on a
-//!    pass-2-dominated QUEST-style workload (dense alphabet, low support,
-//!    so `|C_2| = |L1|·(|L1|−1)/2` dwarfs every other pass). Wall-clock
+//!    combined (projection + triangle + trie + cross-pass trimming) vs the
+//!    vertical TID-bitmap counter (projection + triangle + columnar
+//!    word-wise counting for `k ≥ 3`), on a pass-2-dominated QUEST-style
+//!    workload (dense alphabet, low support, so
+//!    `|C_2| = |L1|·(|L1|−1)/2` dwarfs every other pass). Wall-clock
 //!    pass 2 is isolated as `median wall(max_passes=2) − median
-//!    wall(max_passes=1)`; the transaction count is the numerator for every
-//!    config, so records/sec ratios equal time ratios.
+//!    wall(max_passes=1)`, and the `k ≥ 3` matching tail as
+//!    `median wall(all passes) − median wall(max_passes=2)`; the
+//!    transaction count is the numerator for every config, so records/sec
+//!    ratios equal time ratios.
 //!
 //! Every configuration must return byte-identical itemsets, supports and
 //! per-pass candidate/frequent counts — the bench *fails* on any
@@ -22,9 +26,10 @@
 //! * stdout + `results/ablation_matching.txt` — human-readable report
 //!   (wall-clock numbers vary run to run; everything else is deterministic);
 //! * `BENCH_phase2.json` — machine-readable: per-pass virtual stats,
-//!   pass-2 wall records/sec, peak cache bytes, pass-2 speedup;
+//!   pass-2 and `k ≥ 3` wall records/sec, peak cache bytes, pass-2
+//!   speedup, bitmap-vs-trie `k ≥ 3` speedup;
 //! * a [`RunManifest`] for the regression gate, captured from the
-//!   optimized configuration's accounting run: smoke runs write
+//!   bitmap configuration's accounting run: smoke runs write
 //!   `target/manifests/phase2.smoke.manifest.json` (compared by CI
 //!   against the committed `results/phase2.smoke.manifest.json`), full
 //!   runs write `results/phase2.manifest.json`.
@@ -69,6 +74,7 @@ fn phase2_configs() -> Vec<(&'static str, Phase2Config)> {
             },
         ),
         ("triangle + trie + trim", Phase2Config::optimized()),
+        ("triangle + bitmap + trim", Phase2Config::bitmap()),
     ]
 }
 
@@ -140,6 +146,13 @@ struct ConfigRun {
     /// Transactions through pass 2 per wall second (same numerator for
     /// every config: the raw dataset size).
     pass2_records_per_sec: f64,
+    /// Isolated `k ≥ 3` matching wall seconds
+    /// (`wall(all passes) − wall(2 passes)`): the tail the trie and the
+    /// columnar bitmap compete on.
+    k3_seconds: f64,
+    /// Transactions through the `k ≥ 3` tail per wall second (same
+    /// numerator for every config, so ratios equal time ratios).
+    k3_records_per_sec: f64,
     total_wall_seconds: f64,
 }
 
@@ -236,7 +249,7 @@ fn main() {
             eprintln!("FAIL: '{label}' diverges from the sequential reference");
             std::process::exit(1);
         }
-        // phase2_configs() ends with the optimized config; keep its cluster.
+        // phase2_configs() ends with the bitmap config; keep its cluster.
         manifest_cluster = Some(c);
         runs.push(ConfigRun {
             label,
@@ -244,6 +257,8 @@ fn main() {
             peak_cache_bytes,
             pass2_seconds: f64::NAN,
             pass2_records_per_sec: f64::NAN,
+            k3_seconds: f64::NAN,
+            k3_records_per_sec: f64::NAN,
             total_wall_seconds: f64::NAN,
         });
     }
@@ -269,8 +284,9 @@ fn main() {
         }
     }
 
-    // Regression-gate manifest: captured from the optimized configuration's
-    // accounting run (deterministic: virtual time, counters, byte totals).
+    // Regression-gate manifest: captured from the bitmap configuration's
+    // accounting run (deterministic: virtual time, counters, byte totals —
+    // including the `bitmap.*` build and word counters).
     let dataset_doc = JsonValue::object(vec![
         ("generator", "quest".into()),
         ("transactions", transactions.into()),
@@ -282,21 +298,21 @@ fn main() {
         ("smoke", JsonValue::Bool(smoke)),
     ]);
     let config_doc = JsonValue::object(vec![
-        ("phase2", "triangle + trie + trim".into()),
+        ("phase2", "triangle + bitmap + trim".into()),
         ("cluster", "4 nodes x 4 cores".into()),
     ]);
-    let optimized = runs.last().expect("configs swept");
+    let featured = runs.last().expect("configs swept");
     let mut manifest = RunManifest::capture(
         "phase2",
-        "triangle + trie + trim",
+        "triangle + bitmap + trim",
         dataset_doc.clone(),
         config_doc,
         manifest_cluster.as_ref().expect("configs swept"),
     );
     manifest.push_metric("frequent_itemsets", reference.total() as f64);
-    manifest.push_metric("passes", optimized.run.passes.len() as f64);
-    manifest.push_metric("peak_cache_bytes", optimized.peak_cache_bytes as f64);
-    for p in &optimized.run.passes {
+    manifest.push_metric("passes", featured.run.passes.len() as f64);
+    manifest.push_metric("peak_cache_bytes", featured.peak_cache_bytes as f64);
+    for p in &featured.run.passes {
         manifest.push_metric(format!("pass.{}.virtual_seconds", p.pass), p.seconds);
         manifest.push_metric(format!("pass.{}.candidates", p.pass), p.candidates as f64);
         manifest.push_metric(format!("pass.{}.frequent", p.pass), p.frequent as f64);
@@ -323,7 +339,7 @@ fn main() {
         return;
     }
 
-    // Wall-clock sweep: isolate pass 2 per config.
+    // Wall-clock sweep: isolate pass 2 and the k≥3 tail per config.
     for r in &mut runs {
         let p2 = phase2_configs()
             .into_iter()
@@ -335,6 +351,11 @@ fn main() {
         r.total_wall_seconds = wall_seconds(&lines, support, &p2, 0, samples);
         r.pass2_seconds = (two - one).max(1e-9);
         r.pass2_records_per_sec = tx.len() as f64 / r.pass2_seconds;
+        // The k≥3 tail carries the columnar build for the bitmap config
+        // (nothing is projected before pass 3), so the comparison below
+        // charges build + counting against the trie's pure matching time.
+        r.k3_seconds = (r.total_wall_seconds - two).max(1e-9);
+        r.k3_records_per_sec = tx.len() as f64 / r.k3_seconds;
     }
 
     let _ = writeln!(
@@ -348,18 +369,27 @@ fn main() {
     );
     let _ = writeln!(
         report,
-        "{:<24} {:>12} {:>14} {:>12} {:>14} {:>12}",
-        "configuration", "pass 2 (s)", "p2 records/s", "p2 speedup", "peak cache", "total (s)"
+        "{:<24} {:>12} {:>14} {:>12} {:>11} {:>14} {:>14} {:>12}",
+        "configuration",
+        "pass 2 (s)",
+        "p2 records/s",
+        "p2 speedup",
+        "k>=3 (s)",
+        "k3 records/s",
+        "peak cache",
+        "total (s)"
     );
     let base_p2 = runs[0].pass2_seconds;
     for r in &runs {
         let _ = writeln!(
             report,
-            "{:<24} {:>10.3} s {:>14} {:>11.2}x {:>12} B {:>10.3} s",
+            "{:<24} {:>10.3} s {:>14} {:>11.2}x {:>9.3} s {:>14} {:>12} B {:>10.3} s",
             r.label,
             r.pass2_seconds,
             fmt_rate(r.pass2_records_per_sec),
             base_p2 / r.pass2_seconds,
+            r.k3_seconds,
+            fmt_rate(r.k3_records_per_sec),
             r.peak_cache_bytes,
             r.total_wall_seconds,
         );
@@ -379,9 +409,22 @@ fn main() {
         .iter()
         .map(|r| base_p2 / r.pass2_seconds)
         .fold(f64::NAN, f64::max);
+    let by_label = |l: &str| {
+        runs.iter()
+            .find(|r| r.label == l)
+            .expect("config label present")
+    };
+    let trie_k3 = by_label("triangle + trie + trim").k3_seconds;
+    let bitmap_k3 = by_label("triangle + bitmap + trim").k3_seconds;
     let _ = writeln!(
         report,
-        "\nbest pass-2 speedup over the paper engine: {best:.2}x | parity: ok \
+        "\nk>=3 matching tail: bitmap {bitmap_k3:.3} s vs trie {trie_k3:.3} s \
+         ({:.2}x, columnar build included)",
+        trie_k3 / bitmap_k3
+    );
+    let _ = writeln!(
+        report,
+        "best pass-2 speedup over the paper engine: {best:.2}x | parity: ok \
          ({} frequent itemsets, every config byte-identical)",
         reference.total()
     );
@@ -389,6 +432,13 @@ fn main() {
 
     if best < 1.5 {
         eprintln!("FAIL: specialized pass 2 must be at least 1.5x the hash-tree baseline");
+        std::process::exit(1);
+    }
+    if bitmap_k3 >= trie_k3 {
+        eprintln!(
+            "FAIL: bitmap counting must beat trie matching on the k>=3 wall clock \
+             ({bitmap_k3:.3} s vs {trie_k3:.3} s)"
+        );
         std::process::exit(1);
     }
 
@@ -405,6 +455,11 @@ fn main() {
             (
                 "pass2_speedup",
                 JsonValue::Number(base_p2 / r.pass2_seconds),
+            ),
+            ("k3_seconds", JsonValue::Number(r.k3_seconds)),
+            (
+                "k3_records_per_sec",
+                JsonValue::Number(r.k3_records_per_sec),
             ),
             ("peak_cache_bytes", r.peak_cache_bytes.into()),
             (
@@ -443,6 +498,10 @@ fn main() {
             JsonValue::object(runs.iter().map(|r| (r.label, config_json(r))).collect()),
         ),
         ("best_pass2_speedup", JsonValue::Number(best)),
+        (
+            "bitmap_k3_speedup_vs_trie",
+            JsonValue::Number(trie_k3 / bitmap_k3),
+        ),
         ("parity", "ok".into()),
     ]);
     std::fs::write("BENCH_phase2.json", format!("{json}\n")).expect("write BENCH_phase2.json");

@@ -320,6 +320,50 @@ fn check_scheduler_metrics(m: &RunManifest) -> Result<(), String> {
     Ok(())
 }
 
+/// Bitmap-engine consistency rules: intersecting words requires a columnar
+/// store to have been built; builds always register their arena bytes; a
+/// manifest that both fell back *and* built columnar partitions caught the
+/// density guard flapping; and the columnar arenas live in the cache, so
+/// their build bytes can never exceed the cache's peak (when the manifest
+/// reports one). Metrics absent from pre-bitmap manifests count as zero, so
+/// older baselines still validate.
+fn check_bitmap_metrics(m: &RunManifest) -> Result<(), String> {
+    let get = |name: &str| m.metrics.get(name).copied().unwrap_or(0.0);
+    let words = get("counter.bitmap.words_intersected");
+    let built = get("counter.bitmap.partitions_built");
+    let bytes = get("counter.bitmap.build_bytes");
+    let fallbacks = get("counter.bitmap.fallbacks");
+    if words > 0.0 && built == 0.0 {
+        return Err(format!(
+            "counter.bitmap.words_intersected ({words}) without any \
+             counter.bitmap.partitions_built"
+        ));
+    }
+    if (built > 0.0) != (bytes > 0.0) {
+        return Err(format!(
+            "counter.bitmap.partitions_built ({built}) and \
+             counter.bitmap.build_bytes ({bytes}) must be zero or nonzero together"
+        ));
+    }
+    if fallbacks > 0.0 && built > 0.0 {
+        return Err(format!(
+            "counter.bitmap.fallbacks ({fallbacks}) alongside \
+             counter.bitmap.partitions_built ({built}): the density guard flapped"
+        ));
+    }
+    if built > 0.0 {
+        if let Some(&peak) = m.metrics.get("peak_cache_bytes") {
+            if bytes > peak {
+                return Err(format!(
+                    "counter.bitmap.build_bytes ({bytes}) exceeds peak_cache_bytes \
+                     ({peak}): columnar arenas must live in the cache"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parse + round-trip every file; manifests must also decode.
 fn validate(paths: &[String]) -> ExitCode {
     if paths.is_empty() {
@@ -344,7 +388,8 @@ fn validate(paths: &[String]) -> ExitCode {
                     RunManifest::from_json(&value).map_err(|e| format!("manifest decode: {e}"))?;
                 check_integrity_metrics(&manifest)?;
                 check_scheduler_metrics(&manifest)?;
-                Ok("manifest ok (integrity + scheduler counters consistent)")
+                check_bitmap_metrics(&manifest)?;
+                Ok("manifest ok (integrity + scheduler + bitmap counters consistent)")
             } else {
                 Ok("json ok")
             }
@@ -566,6 +611,52 @@ mod tests {
         assert!(check_scheduler_metrics(&m)
             .unwrap_err()
             .contains("jobs_completed"));
+    }
+
+    #[test]
+    fn bitmap_metrics_must_cohere() {
+        // Pre-bitmap manifests carry none of the counters and validate.
+        let mut m = toy_manifest();
+        assert!(check_bitmap_metrics(&m).is_ok());
+
+        for (k, v) in [
+            ("counter.bitmap.words_intersected", 5000.0),
+            ("counter.bitmap.partitions_built", 8.0),
+            ("counter.bitmap.build_bytes", 4096.0),
+            ("counter.bitmap.fallbacks", 0.0),
+            ("peak_cache_bytes", 100_000.0),
+        ] {
+            m.metrics.insert(k.to_string(), v);
+        }
+        assert!(check_bitmap_metrics(&m).is_ok());
+
+        // Words counted without a columnar store is impossible.
+        m.metrics
+            .insert("counter.bitmap.partitions_built".into(), 0.0);
+        assert!(check_bitmap_metrics(&m)
+            .unwrap_err()
+            .contains("without any"));
+
+        // Builds always register bytes (and vice versa).
+        m.metrics
+            .insert("counter.bitmap.partitions_built".into(), 8.0);
+        m.metrics.insert("counter.bitmap.build_bytes".into(), 0.0);
+        assert!(check_bitmap_metrics(&m)
+            .unwrap_err()
+            .contains("zero or nonzero together"));
+
+        // Falling back and building in the same run means the guard flapped.
+        m.metrics
+            .insert("counter.bitmap.build_bytes".into(), 4096.0);
+        m.metrics.insert("counter.bitmap.fallbacks".into(), 1.0);
+        assert!(check_bitmap_metrics(&m).unwrap_err().contains("flapped"));
+
+        // Columnar arenas live in the cache, bounded by its peak.
+        m.metrics.insert("counter.bitmap.fallbacks".into(), 0.0);
+        m.metrics.insert("peak_cache_bytes".into(), 100.0);
+        assert!(check_bitmap_metrics(&m)
+            .unwrap_err()
+            .contains("exceeds peak_cache_bytes"));
     }
 
     #[test]

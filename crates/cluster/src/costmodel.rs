@@ -159,6 +159,14 @@ impl CostModel {
         disk.max(net) + self.disk_write(bytes) // pipeline bound + final replica write
     }
 
+    /// Time to build a vertical TID-bitmap arena: write `words` `u64`s of
+    /// zeroed bitset rows (memory bandwidth) plus one cheap CPU touch per
+    /// bit set (`set_bits` = item occurrences in the partition). The
+    /// per-task charge of the columnar Phase-II projection.
+    pub fn bitmap_build(&self, words: u64, set_bits: u64) -> SimDuration {
+        self.mem_scan(words * 8) + self.cpu(set_bits)
+    }
+
     /// Time for a BitTorrent-style broadcast of `bytes` to `nodes` nodes
     /// (Spark's broadcast variables): the data is chunked and re-shared, so
     /// total time grows logarithmically in the node count.
@@ -230,6 +238,15 @@ mod tests {
         let bytes = 1_000_000;
         assert!(m.checksum(bytes) > SimDuration::ZERO);
         assert!(m.checksum(bytes) < m.serialize(bytes));
+    }
+
+    #[test]
+    fn bitmap_build_sums_arena_write_and_bit_sets() {
+        let m = CostModel::hadoop_era();
+        let t = m.bitmap_build(1_000_000, 500_000);
+        let expect = m.mem_scan(8_000_000) + m.cpu(500_000);
+        assert!((t.as_secs() - expect.as_secs()).abs() < 1e-12);
+        assert_eq!(m.bitmap_build(0, 0), SimDuration::ZERO);
     }
 
     #[test]

@@ -59,6 +59,19 @@ impl ByteSize for Box<dyn CandidateStore> {
     }
 }
 
+/// A bare sorted candidate list, broadcastable as-is — what the vertical
+/// bitmap strategy ships instead of a [`CandidateStore`]: the columnar
+/// layout needs no per-transaction index, only the candidates themselves in
+/// `ap_gen` order (indices into this list are the shuffle keys, exactly as
+/// with the stores).
+pub struct CandidateList(pub Vec<Itemset>);
+
+impl ByteSize for CandidateList {
+    fn byte_size(&self) -> u64 {
+        8 + self.0.iter().map(ByteSize::byte_size).sum::<u64>()
+    }
+}
+
 /// Work performed by one candidate-generation call, for driver-side CPU
 /// accounting in the engines.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

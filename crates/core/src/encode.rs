@@ -166,6 +166,8 @@ pub fn tri_pair(n: usize, mut idx: usize) -> (usize, usize) {
 /// Largest triangle the specialized pass-2 counter will allocate per task
 /// (cells, 8 bytes each). Beyond this, pass 2 falls back to the candidate
 /// store — counts are identical either way, only the constant factor moves.
+/// The `k ≥ 3` vertical bitmap counter has the same shape of guard over its
+/// arena: [`BITMAP_MAX_WORDS`](crate::bitmap::BITMAP_MAX_WORDS).
 pub const TRIANGLE_MAX_CELLS: usize = 1 << 24;
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! test suite enforces across every generator family.
 
 pub mod audit;
+pub mod bitmap;
 pub mod candidates;
 pub mod eclat;
 pub mod encode;
@@ -40,7 +41,8 @@ pub mod types;
 pub mod yafim;
 
 pub use audit::{audit_level, audit_levels, audit_levels_with};
-pub use candidates::{ap_gen, CandidateStore, GenWork};
+pub use bitmap::{bitmap_fits, BitmapScratch, ColumnarPartition, BITMAP_MAX_WORDS};
+pub use candidates::{ap_gen, CandidateList, CandidateStore, GenWork};
 pub use eclat::eclat;
 pub use encode::{DenseEncoder, TrimMask};
 pub use fpgrowth::fp_growth;

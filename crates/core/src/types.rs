@@ -258,6 +258,12 @@ pub const JVM_TREE_VISIT_UNITS: u64 = 8;
 /// (bounds check + memory traffic on the JVM).
 pub const JVM_PAIR_COUNT_UNITS: u64 = 2;
 
+/// Virtual CPU units per `u64` word touched by the vertical bitmap counter:
+/// a load, an AND and a popcount over primitive longs — the cheapest loop a
+/// JVM can emit, so it gets the raw cost-model unit. Each word covers up to
+/// 64 transactions, which is where the strategy's advantage comes from.
+pub const JVM_BITMAP_WORD_UNITS: u64 = 1;
+
 /// Timing and size facts about one Apriori pass — one point of the paper's
 /// Fig. 3 / Fig. 6 per-iteration series.
 #[derive(Clone, Debug, PartialEq)]

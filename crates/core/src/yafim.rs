@@ -37,20 +37,27 @@
 //!   no frequent `k`-itemset plus transactions too short to hold a
 //!   `(k+1)`-candidate, re-caching the shrunken RDD (and unpersisting the
 //!   one it replaces) so later passes stream monotonically less data.
+//! * **vertical bitmap counting** ([`Matcher::Bitmap`]) — project each
+//!   partition once into a [`ColumnarPartition`] (one `u64` bitset row per
+//!   dense rank) and count every `k ≥ 3` candidate by word-wise AND +
+//!   popcount over its item rows, with no per-transaction store descent at
+//!   all. Guarded by [`BITMAP_MAX_WORDS`](crate::bitmap::BITMAP_MAX_WORDS);
+//!   too-large alphabets fall back to the trie.
 
-use crate::candidates::{ap_gen, CandidateStore};
+use crate::bitmap::{bitmap_fits, BitmapScratch, ColumnarPartition};
+use crate::candidates::{ap_gen, CandidateList, CandidateStore};
 use crate::encode::{tri_index, tri_len, tri_pair, DenseEncoder, TrimMask, TRIANGLE_MAX_CELLS};
 use crate::hashtree::{HashTree, MatchScratch};
 use crate::trie::CandidateTrie;
 use crate::types::{
     parse_transaction, Item, Itemset, MinerRun, MiningResult, PassTiming, Support,
-    JVM_PAIR_COUNT_UNITS, JVM_TREE_VISIT_UNITS,
+    JVM_BITMAP_WORD_UNITS, JVM_PAIR_COUNT_UNITS, JVM_TREE_VISIT_UNITS,
 };
 use std::sync::Arc;
-use yafim_cluster::{DfsError, EventKind, SimDuration};
+use yafim_cluster::{ByteSize, DfsError, EventKind, SimDuration};
 use yafim_rdd::{Context, Rdd};
 
-/// Which candidate store Phase II broadcasts for passes `k ≥ 3`.
+/// Which counting strategy Phase II uses for passes `k ≥ 3`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Matcher {
     /// The paper's candidate hash tree (Agrawal & Srikant) — the
@@ -58,6 +65,13 @@ pub enum Matcher {
     HashTree,
     /// Contiguous-arena prefix trie: merge-based descent, unique paths.
     Trie,
+    /// Vertical TID bitmaps: project each partition once into a
+    /// [`ColumnarPartition`] and count candidates by word-wise AND +
+    /// popcount of item rows — no broadcast store, no per-transaction
+    /// descent. Requires [`Phase2Config::project`] and an alphabet within
+    /// [`BITMAP_MAX_WORDS`](crate::bitmap::BITMAP_MAX_WORDS); otherwise the
+    /// engine counts with the trie and bumps the `bitmap.fallbacks` counter.
+    Bitmap,
 }
 
 /// Phase-II hot-path switches. Every combination returns byte-identical
@@ -107,6 +121,18 @@ impl Phase2Config {
             checkpoint_interval: 0,
         }
     }
+
+    /// Like [`Phase2Config::optimized`], but `k ≥ 3` passes count through
+    /// the vertical TID bitmaps instead of the trie. One DHP trim may still
+    /// run after pass 2 (it shrinks the columnar build); once the columnar
+    /// store exists further trims are skipped — the bitmap counter never
+    /// rescans transactions, so there is nothing left for them to save.
+    pub fn bitmap() -> Self {
+        Phase2Config {
+            matcher: Matcher::Bitmap,
+            ..Phase2Config::optimized()
+        }
+    }
 }
 
 /// Options for a YAFIM run.
@@ -142,6 +168,15 @@ impl YafimConfig {
     pub fn optimized(min_support: Support) -> Self {
         YafimConfig {
             phase2: Phase2Config::optimized(),
+            ..YafimConfig::new(min_support)
+        }
+    }
+
+    /// Like [`YafimConfig::optimized`] but counting `k ≥ 3` passes through
+    /// the vertical TID bitmaps ([`Phase2Config::bitmap`]).
+    pub fn bitmap(min_support: Support) -> Self {
+        YafimConfig {
+            phase2: Phase2Config::bitmap(),
             ..YafimConfig::new(min_support)
         }
     }
@@ -284,6 +319,22 @@ impl Yafim {
         };
         let mut passes_since_ckpt = 0usize;
         let mut checkpointed: Option<Rdd<Vec<Item>>> = None;
+
+        // Bitmap density guard, decided once from driver-side metadata
+        // (mirrors the pass-2 triangle guard): the columnar projection must
+        // fit BITMAP_MAX_WORDS across all partitions, and needs dense
+        // ranks to bound the row count. Otherwise the trie counts instead.
+        let n_dense_total = encoder.as_ref().map_or(0, |e| e.len());
+        let use_bitmap = p2.matcher == Matcher::Bitmap
+            && p2.project
+            && bitmap_fits(n_dense_total, file.num_lines(), partitions);
+        if p2.matcher == Matcher::Bitmap && !use_bitmap {
+            ctx.cluster().registry().counter("bitmap.fallbacks").inc(1);
+        }
+        // The columnar store, built lazily by the first bitmap-counted pass
+        // and reused (from cache) by every later one.
+        let mut columnar: Option<Rdd<ColumnarPartition>> = None;
+
         let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1_work];
         let mut pass = 2usize;
         loop {
@@ -310,7 +361,12 @@ impl Yafim {
                     .iter()
                     .map(|(s, _)| s.clone())
                     .collect();
-                match self.pass_with_store(&work, &prev, &p2, pass, min_sup) {
+                let outcome = if use_bitmap {
+                    self.pass_bitmap(&work, &mut columnar, n_dense, &prev, pass, min_sup)
+                } else {
+                    self.pass_with_store(&work, &prev, &p2, pass, min_sup)
+                };
+                match outcome {
                     Some(v) => v,
                     None => break, // ap_gen produced no candidates
                 }
@@ -362,7 +418,12 @@ impl Yafim {
             // can be dropped from the cached RDD without changing a single
             // later count. The trimmed RDD re-caches during the next pass's
             // job; its predecessor is unpersisted right after.
-            if p2.trim && p2.project {
+            //
+            // Once the columnar bitmap store exists, trimming is skipped:
+            // the bitmap counter never rescans the transactions RDD, so a
+            // trim would cost a job and save nothing (pass-2's trim still
+            // runs with the bitmap — it shrinks the columnar build itself).
+            if p2.trim && p2.project && columnar.is_none() {
                 let mask = TrimMask::from_frequent(n_dense, &lk);
                 metrics.advance_with_event(
                     cost.cpu((lk.len() * (pass)) as u64 + n_dense as u64),
@@ -418,9 +479,13 @@ impl Yafim {
         }
 
         // Unpersist every RDD still holding cluster memory (the final work
-        // RDD, plus a replaced one whose successor never ran a job).
+        // RDD, the columnar bitmap store, plus a replaced RDD whose
+        // successor never ran a job).
         if let Some(old) = replaced.take() {
             old.unpersist();
+        }
+        if let Some(col) = columnar.take() {
+            col.unpersist();
         }
         work.unpersist();
         transactions.unpersist();
@@ -547,9 +612,11 @@ impl Yafim {
         let n_candidates = candidates.len();
 
         // Driver: build the candidate store and broadcast it to the workers.
+        // Matcher::Bitmap lands here only when the density guard refused
+        // the columnar projection; the trie is its fallback store.
         let store: Box<dyn CandidateStore> = match p2.matcher {
             Matcher::HashTree => Box::new(HashTree::build(candidates)),
-            Matcher::Trie => Box::new(CandidateTrie::build(candidates)),
+            Matcher::Trie | Matcher::Bitmap => Box::new(CandidateTrie::build(candidates)),
         };
         metrics.advance_with_event(
             cost.cpu(2 * n_candidates as u64),
@@ -622,6 +689,150 @@ impl Yafim {
         };
         Some((n_candidates, lk.len(), lk))
     }
+
+    /// Project `work` into the cached columnar bitmap store: one job,
+    /// one [`ColumnarPartition`] element per partition, build bytes and CPU
+    /// charged to the tasks and the arena registered with the cache manager
+    /// like any other cached block (checksummed, evictable, recomputable
+    /// from lineage).
+    fn build_columnar(&self, work: &Rdd<Vec<Item>>, n_dense: usize) -> Rdd<ColumnarPartition> {
+        let ctx = &self.ctx;
+        let metrics = ctx.metrics().clone();
+        let cost = ctx.cluster().cost().clone();
+        metrics.advance_with_event(
+            cost.cpu(n_dense as u64),
+            EventKind::Projection,
+            format!("columnar bitmap projection plan ({n_dense} rows)"),
+        );
+        let built = ctx.cluster().registry().counter("bitmap.partitions_built");
+        let bytes = ctx.cluster().registry().counter("bitmap.build_bytes");
+        work.map_partitions(move |txs, tc| {
+            let col = ColumnarPartition::build(n_dense, txs);
+            // Physical build: write the arena once, touch one bit per item
+            // occurrence.
+            tc.add_mem_read(8 * col.arena_words() as u64);
+            tc.add_cpu(col.build_cost_units());
+            built.inc(1);
+            bytes.inc(col.byte_size());
+            vec![col]
+        })
+        .cache()
+    }
+
+    /// One Phase-II pass counted through the vertical TID bitmaps — the
+    /// `k ≥ 3` path when [`Matcher::Bitmap`] passed its density guard. The
+    /// columnar store is built (and cached) by the first such pass and
+    /// reused from cluster memory afterwards; only the bare candidate list
+    /// is broadcast.
+    ///
+    /// Returns `(|C_k|, surviving count, L_k in work space)`, or `None`
+    /// when candidate generation comes up empty.
+    fn pass_bitmap(
+        &self,
+        work: &Rdd<Vec<Item>>,
+        columnar: &mut Option<Rdd<ColumnarPartition>>,
+        n_dense: usize,
+        prev: &[Itemset],
+        pass: usize,
+        min_sup: u64,
+    ) -> PassOutcome {
+        let ctx = &self.ctx;
+        let metrics = ctx.metrics().clone();
+        let cost = ctx.cluster().cost().clone();
+
+        // Driver: candidate generation (join + prune), charged as driver
+        // CPU — identical to the store path, so pass metadata agrees.
+        let (candidates, gen_work) = ap_gen(prev);
+        metrics.advance_with_event(
+            cost.cpu(gen_work.units() + candidates.len() as u64),
+            EventKind::Driver,
+            format!("ap_gen pass {pass}"),
+        );
+        if candidates.is_empty() {
+            return None;
+        }
+        let n_candidates = candidates.len();
+
+        // First bitmap pass: materialize the columnar store.
+        let columnar_rdd = match columnar {
+            Some(c) => c.clone(),
+            None => {
+                let built = self.build_columnar(work, n_dense);
+                *columnar = Some(built.clone());
+                built
+            }
+        };
+
+        // Driver: no store to build — just assemble and broadcast the
+        // sorted candidate list (indices into it are the shuffle keys,
+        // exactly as with the stores).
+        metrics.advance_with_event(
+            cost.cpu(n_candidates as u64),
+            EventKind::Driver,
+            format!("broadcast candidate list pass {pass}"),
+        );
+        let registry = ctx.cluster().registry();
+        registry.counter("bitmap.passes").inc(1);
+        registry
+            .counter("bitmap.candidates_counted")
+            .inc(n_candidates as u64);
+        let words_counter = registry.counter("bitmap.words_intersected");
+        let bc = ctx.broadcast(CandidateList(candidates));
+        let cands_for_tasks = bc.value();
+        let cand_bytes = bc.bytes();
+
+        // Workers: word-wise AND + popcount per candidate over the cached
+        // bitset rows. Within a partition every candidate is counted at
+        // most once, so the emitted pairs are already combined map-side.
+        let counted: Vec<(u32, u64)> = columnar_rdd
+            .map_partitions(move |cols, tc| {
+                tc.note_broadcast_read(cand_bytes);
+                let mut scratch = BitmapScratch::default();
+                let mut out: Vec<(u32, u64)> = Vec::new();
+                let mut words = 0u64;
+                for col in cols {
+                    words += col.count_candidates(&cands_for_tasks.0, &mut scratch, &mut |i, c| {
+                        out.push((i as u32, c));
+                    });
+                }
+                // One AND+popcount per word, one emission per nonzero
+                // count — the whole per-task cost of the pass.
+                tc.add_cpu(words * JVM_BITMAP_WORD_UNITS + out.len() as u64);
+                words_counter.inc(words);
+                out
+            })
+            .reduce_by_key(|a, b| a + b)
+            .filter(move |&(_, c)| c >= min_sup)
+            .collect();
+
+        // Resolve surviving indices against the broadcast list once per
+        // pass, draining it by value when the driver holds the last
+        // reference (the mirror of the store path's drain).
+        let mut counted = counted;
+        counted.sort_unstable_by_key(|&(i, _)| i);
+        let lk: Vec<(Itemset, u64)> = match Arc::try_unwrap(bc.into_value()) {
+            Ok(list) => {
+                let mut wanted = counted.iter().copied();
+                let mut next = wanted.next();
+                let mut out = Vec::with_capacity(counted.len());
+                for (i, cand) in list.0.into_iter().enumerate() {
+                    match next {
+                        Some((idx, c)) if idx as usize == i => {
+                            out.push((cand, c));
+                            next = wanted.next();
+                        }
+                        _ => {}
+                    }
+                }
+                out
+            }
+            Err(list) => counted
+                .iter()
+                .map(|&(idx, c)| (list.0[idx as usize].clone(), c))
+                .collect(),
+        };
+        Some((n_candidates, lk.len(), lk))
+    }
 }
 
 /// Convenience: one-call YAFIM over an in-memory transaction list, writing
@@ -690,7 +901,7 @@ mod tests {
         let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
         for project in [false, true] {
             for triangle in [false, true] {
-                for matcher in [Matcher::HashTree, Matcher::Trie] {
+                for matcher in [Matcher::HashTree, Matcher::Trie, Matcher::Bitmap] {
                     for trim in [false, true] {
                         let mut cfg = YafimConfig::new(Support::Count(2));
                         cfg.phase2 = Phase2Config {
@@ -846,6 +1057,84 @@ mod tests {
         let stats = c.cache().stats();
         assert_eq!(stats.entries, 0, "projection/trim replacements unpersisted");
         assert_eq!(stats.used_bytes, 0);
+    }
+
+    #[test]
+    fn bitmap_run_matches_sequential_and_releases_cache() {
+        let c = ctx();
+        let run = mine_in_memory(&c, &toy(), YafimConfig::bitmap(Support::Count(2)));
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq);
+        let reg = c.cluster().registry();
+        assert!(
+            reg.counter("bitmap.partitions_built").get() > 0,
+            "the k=3 pass must have built the columnar store"
+        );
+        assert!(reg.counter("bitmap.words_intersected").get() > 0);
+        assert_eq!(reg.counter("bitmap.fallbacks").get(), 0);
+        let stats = c.cache().stats();
+        assert_eq!(stats.entries, 0, "columnar blocks unpersisted at run end");
+        assert_eq!(stats.used_bytes, 0);
+    }
+
+    #[test]
+    fn bitmap_pass_metadata_matches_paper_engine() {
+        let paper = mine_in_memory(&ctx(), &toy(), YafimConfig::new(Support::Count(2)));
+        let bm = mine_in_memory(&ctx(), &toy(), YafimConfig::bitmap(Support::Count(2)));
+        assert_eq!(paper.passes.len(), bm.passes.len());
+        for (p, b) in paper.passes.iter().zip(&bm.passes) {
+            assert_eq!(
+                (p.pass, p.candidates, p.frequent),
+                (b.pass, b.candidates, b.frequent)
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_without_projection_falls_back_to_the_trie() {
+        let c = ctx();
+        let mut cfg = YafimConfig::bitmap(Support::Count(2));
+        cfg.phase2.project = false;
+        cfg.phase2.triangle_pass2 = false;
+        cfg.phase2.trim = false;
+        let run = mine_in_memory(&c, &toy(), cfg);
+        let seq = apriori(&toy(), &SequentialConfig::new(Support::Count(2)));
+        assert_eq!(run.result, seq, "fallback still byte-identical");
+        let reg = c.cluster().registry();
+        assert_eq!(reg.counter("bitmap.fallbacks").get(), 1);
+        assert_eq!(
+            reg.counter("bitmap.partitions_built").get(),
+            0,
+            "no columnar store without dense ranks"
+        );
+    }
+
+    #[test]
+    fn bitmap_virtual_time_not_slower_than_trie_on_dense_data() {
+        // A dense workload with deep passes: every k >= 3 pass is pure
+        // word-wise counting, which the cost model must see as cheaper
+        // than trie descent per transaction.
+        let tx: Vec<Vec<Item>> = (0..400)
+            .map(|i| {
+                let mut t: Vec<Item> = (0..10).map(|j| ((i + j * 3) % 14) as u32).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let trie = mine_in_memory(&ctx(), &tx, YafimConfig::optimized(Support::Fraction(0.05)));
+        let bm = mine_in_memory(&ctx(), &tx, YafimConfig::bitmap(Support::Fraction(0.05)));
+        assert_eq!(trie.result, bm.result);
+        assert!(
+            bm.result.max_len() >= 3,
+            "workload must exercise bitmap passes"
+        );
+        assert!(
+            bm.total_seconds <= trie.total_seconds,
+            "bitmap {} s vs trie {} s",
+            bm.total_seconds,
+            trie.total_seconds
+        );
     }
 
     #[test]

@@ -38,14 +38,14 @@ fn run(tx: &[Vec<u32>], support: Support, phase2: Phase2Config) -> MinerRun {
         .expect("written")
 }
 
-/// All 16 switch combinations (several are redundant — triangle/trim without
-/// projection fall back to the store path — but redundant configurations
-/// must *still* agree).
+/// All 24 switch combinations (several are redundant — triangle/trim/bitmap
+/// without projection fall back to the store path — but redundant
+/// configurations must *still* agree).
 fn all_configs() -> Vec<Phase2Config> {
     let mut out = Vec::new();
     for project in [false, true] {
         for triangle_pass2 in [false, true] {
-            for matcher in [Matcher::HashTree, Matcher::Trie] {
+            for matcher in [Matcher::HashTree, Matcher::Trie, Matcher::Bitmap] {
                 for trim in [false, true] {
                     out.push(Phase2Config {
                         project,
@@ -186,6 +186,7 @@ fn node_loss_at_every_pass_boundary_is_invisible() {
     for (name, p2) in [
         ("paper", Phase2Config::paper()),
         ("optimized", Phase2Config::optimized()),
+        ("bitmap", Phase2Config::bitmap()),
     ] {
         // A clean run maps pass number → cumulative virtual seconds, so
         // each loss lands just after "its" pass completed.
@@ -234,6 +235,60 @@ fn node_loss_at_every_pass_boundary_is_invisible() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn silent_corruption_is_invisible_to_every_engine() {
+    // Scenario-D parity: corrupt each storage tier (shuffle map outputs,
+    // cached partitions — which for the bitmap engine include the columnar
+    // bitset blocks — and HDFS replicas) under every engine flavor. The
+    // integrity layer must detect and repair every injected corruption,
+    // and results must stay byte-identical to the sequential reference.
+    let tx = PaperDataset::Medical.generate_scaled(0.01);
+    let support = Support::Fraction(0.05);
+    let reference = apriori(&tx, &SequentialConfig::new(support));
+
+    type Corrupt = fn(FaultPlan, f64) -> FaultPlan;
+    let tiers: [(&str, Corrupt); 3] = [
+        ("shuffle", |p, r| p.corrupt_shuffle(r)),
+        ("cache", |p, r| p.corrupt_cache(r)),
+        ("hdfs", |p, r| p.corrupt_hdfs(r)),
+    ];
+    for (name, p2) in [
+        ("paper", Phase2Config::paper()),
+        ("optimized", Phase2Config::optimized()),
+        ("bitmap", Phase2Config::bitmap()),
+    ] {
+        for (tier, corrupt) in &tiers {
+            let c = cluster();
+            c.hdfs().put_overwrite("d.dat", to_lines(&tx));
+            c.faults().set_plan(corrupt(FaultPlan::seeded(11), 0.25));
+            let cfg = YafimConfig {
+                phase2: p2.clone(),
+                ..YafimConfig::new(support)
+            };
+            let r = Yafim::new(Context::new(c.clone()), cfg)
+                .mine("d.dat")
+                .expect("repairable corruption must not abort the job");
+            assert_eq!(
+                reference, r.result,
+                "{name}: {tier} corruption changed results"
+            );
+            let i = c.metrics().snapshot().recovery.integrity;
+            assert!(
+                i.corruptions_injected > 0,
+                "{name}: {tier} plan must actually corrupt something"
+            );
+            assert_eq!(
+                i.corruptions_detected, i.corruptions_injected,
+                "{name}: {tier}: every injected corruption must be detected"
+            );
+            assert_eq!(
+                i.corruptions_repaired, i.corruptions_detected,
+                "{name}: {tier}: every detected corruption must be repaired"
+            );
         }
     }
 }
