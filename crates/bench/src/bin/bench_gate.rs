@@ -364,6 +364,40 @@ fn check_bitmap_metrics(m: &RunManifest) -> Result<(), String> {
     Ok(())
 }
 
+/// Memory-governor consistency rules: every injected OOM is resolved
+/// exactly once (killed or survived by degradation); spilled bytes imply
+/// spill events; and no task's execution peak can exceed the hard budget
+/// cap the governor advertised (when one was armed). Metrics absent from
+/// pre-governor manifests count as zero, so older baselines still
+/// validate.
+fn check_memory_metrics(m: &RunManifest) -> Result<(), String> {
+    let get = |name: &str| m.metrics.get(name).copied().unwrap_or(0.0);
+    let injected = get("mem.oom_injected");
+    let killed = get("mem.oom_killed");
+    let survived = get("mem.oom_survived_by_degradation");
+    if injected != killed + survived {
+        return Err(format!(
+            "mem.oom_injected ({injected}) != mem.oom_killed ({killed}) + \
+             mem.oom_survived_by_degradation ({survived})"
+        ));
+    }
+    if get("mem.spill_bytes") > 0.0 && get("mem.spills") == 0.0 {
+        return Err(format!(
+            "mem.spill_bytes ({}) without any mem.spills",
+            get("mem.spill_bytes")
+        ));
+    }
+    let budget = get("gauge.mem.task_budget_bytes");
+    let peak = get("mem.peak_execution_bytes");
+    if budget > 0.0 && peak > budget {
+        return Err(format!(
+            "mem.peak_execution_bytes ({peak}) exceeds the governor's hard \
+             cap gauge.mem.task_budget_bytes ({budget})"
+        ));
+    }
+    Ok(())
+}
+
 /// Parse + round-trip every file; manifests must also decode.
 fn validate(paths: &[String]) -> ExitCode {
     if paths.is_empty() {
@@ -389,7 +423,8 @@ fn validate(paths: &[String]) -> ExitCode {
                 check_integrity_metrics(&manifest)?;
                 check_scheduler_metrics(&manifest)?;
                 check_bitmap_metrics(&manifest)?;
-                Ok("manifest ok (integrity + scheduler + bitmap counters consistent)")
+                check_memory_metrics(&manifest)?;
+                Ok("manifest ok (integrity + scheduler + bitmap + memory counters consistent)")
             } else {
                 Ok("json ok")
             }
@@ -657,6 +692,51 @@ mod tests {
         assert!(check_bitmap_metrics(&m)
             .unwrap_err()
             .contains("exceeds peak_cache_bytes"));
+    }
+
+    #[test]
+    fn memory_metrics_must_cohere() {
+        // Pre-governor manifests carry none of the counters and validate.
+        let mut m = toy_manifest();
+        assert!(check_memory_metrics(&m).is_ok());
+
+        for (k, v) in [
+            ("mem.oom_injected", 6.0),
+            ("mem.oom_killed", 4.0),
+            ("mem.oom_survived_by_degradation", 2.0),
+            ("mem.spills", 3.0),
+            ("mem.spill_bytes", 12288.0),
+            ("mem.peak_execution_bytes", 50_000.0),
+            ("gauge.mem.task_budget_bytes", 100_000.0),
+        ] {
+            m.metrics.insert(k.to_string(), v);
+        }
+        assert!(check_memory_metrics(&m).is_ok());
+
+        // Every injected OOM is resolved exactly once.
+        m.metrics.insert("mem.oom_killed".into(), 5.0);
+        assert!(check_memory_metrics(&m)
+            .unwrap_err()
+            .contains("mem.oom_injected"));
+
+        // Spilled bytes without spill events is impossible.
+        m.metrics.insert("mem.oom_killed".into(), 4.0);
+        m.metrics.insert("mem.spills".into(), 0.0);
+        assert!(check_memory_metrics(&m)
+            .unwrap_err()
+            .contains("without any mem.spills"));
+
+        // A task peak above the governor's hard cap means the ledger leaked.
+        m.metrics.insert("mem.spills".into(), 3.0);
+        m.metrics
+            .insert("mem.peak_execution_bytes".into(), 200_000.0);
+        assert!(check_memory_metrics(&m)
+            .unwrap_err()
+            .contains("exceeds the governor's hard cap"));
+
+        // An unarmed governor (budget gauge 0) bounds nothing.
+        m.metrics.insert("gauge.mem.task_budget_bytes".into(), 0.0);
+        assert!(check_memory_metrics(&m).is_ok());
     }
 
     #[test]

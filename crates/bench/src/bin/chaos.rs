@@ -18,11 +18,18 @@
 //!   loses a node during *every* pass, with checkpointing off and on, and
 //!   asserts the measured max replay depth stays within the cadence-derived
 //!   bound (and that results never move).
+//! * **E — memory governor sweep**: budget × matcher × engine over the
+//!   wide-alphabet T10I4D100K (whose candidate structures are big enough
+//!   to overflow a tight node budget). Every cell must mine byte-identical
+//!   itemsets to its unconstrained baseline while the sweep as a whole
+//!   exercises every rung of the degradation ladder — combine-buffer
+//!   spills, matcher step-downs, OOM kill-and-retry — and two
+//!   starved-beyond-use cells must end in a typed admission refusal.
 //!
-//! The report is also written to `results/chaos.txt` (skipped under
-//! `--smoke`, which runs the same scenarios at a reduced scale for CI).
-//! The output is fully deterministic: run it twice with the same seed and
-//! diff the output — identical bytes.
+//! The report is also written to `results/chaos.txt` (scenario E to
+//! `results/chaos_e.txt`; both skipped under `--smoke`, which runs the same
+//! scenarios at a reduced scale for CI). The output is fully deterministic:
+//! run it twice with the same seed and diff the output — identical bytes.
 //!
 //! Usage: `cargo run -p yafim-bench --release --bin chaos
 //!     [--seed N] [--scale X] [--smoke]`
@@ -33,10 +40,11 @@ use yafim_bench::{bench_dataset, experiment_cluster, load_dataset, write_manifes
 use yafim_cluster::json::JsonValue;
 use yafim_cluster::{
     critical_path, full_report, fx_hash64, ClusterSpec, EventKind, FaultPlan, IntegrityTier,
-    NodeId, RecoveryCounters, RunManifest, SimCluster, SimDuration, SimInstant,
+    MemoryCounters, NodeId, RecoveryCounters, RunManifest, SimCluster, SimDuration, SimInstant,
 };
-use yafim_core::{MinerRun, MrApriori, MrAprioriConfig, Yafim, YafimConfig};
+use yafim_core::{MineError, MinerRun, MrApriori, MrAprioriConfig, Support, Yafim, YafimConfig};
 use yafim_data::PaperDataset;
+use yafim_mapreduce::MrError;
 use yafim_rdd::{Context, ExecError};
 
 /// Scenario C checkpoints the working RDD every this many Phase-II passes.
@@ -175,6 +183,289 @@ fn main() {
     };
     write_manifest(&manifest, manifest_path);
     println!("wrote {manifest_path}");
+
+    scenario_e(seed, scale, smoke);
+}
+
+/// Node-memory override for scenario E's pressure cells: small enough that
+/// the pass-2 triangle array and candidate tries overflow the per-task
+/// slice (forcing step-downs and retry-ladder survivals), big enough that
+/// the hash-tree floor still fits a fully-backed-off retry.
+const E_TIGHT_BUDGET: u64 = 24 * 1024 * 1024;
+
+/// Injected per-acquisition OOM probability for scenario E's OOM cells.
+const E_OOM_PROB: f64 = 0.05;
+
+/// Node budget whose per-task slice falls below the spill granule — every
+/// admission check must refuse it with a typed error.
+const E_REFUSAL_BUDGET: u64 = 256 * 1024;
+
+/// E: memory-governor sweep — budget × matcher × engine. Every budgeted
+/// cell must return itemsets byte-identical to its own unconstrained
+/// baseline; across the sweep every degradation rung (spill, matcher
+/// step-down, OOM kill-and-retry) must fire at least once; and two
+/// starved cells must end in a typed admission refusal, never a partial
+/// result.
+fn scenario_e(seed: u64, scale: f64, smoke: bool) {
+    // T10I4D100K, not the Mushroom set the other scenarios use: its ~850
+    // item alphabet makes |C_2| (and so the triangle array and candidate
+    // stores) large enough to overflow a tight-but-admissible budget.
+    let data = bench_dataset(PaperDataset::T10I4D100K, scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== chaos E: memory governor sweep (seed {seed}) ==\n\
+         dataset {} at scale {scale}, support {:?}\n\
+         budgets: oom = injected OOM at p={E_OOM_PROB} (full node memory), \
+         tight = {} MiB per node\n",
+        data.name,
+        data.support,
+        E_TIGHT_BUDGET / (1024 * 1024)
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} | {:>10} {:>6} {:>9} | {:>8} {:>6} {:>8} | {:>9}",
+        "engine/matcher",
+        "budget",
+        "peak (B)",
+        "spills",
+        "stepdown",
+        "injected",
+        "killed",
+        "survived",
+        "extra(s)"
+    );
+
+    let budgets: [(&str, FaultPlan); 2] = [
+        ("oom", FaultPlan::seeded(seed).inject_oom(E_OOM_PROB)),
+        (
+            "tight",
+            FaultPlan::seeded(seed).with_mem_budget(E_TIGHT_BUDGET),
+        ),
+    ];
+    type Cfg = fn(Support) -> YafimConfig;
+    let matchers: [(&str, Cfg); 3] = [
+        ("YAFIM/hash-tree", YafimConfig::new),
+        ("YAFIM/trie", YafimConfig::optimized),
+        ("YAFIM/bitmap", YafimConfig::bitmap),
+    ];
+
+    let mut agg = MemoryCounters::default();
+    let mut cells = 0u64;
+    let mut representative: Option<(SimCluster, usize)> = None;
+    for (mname, cfg) in &matchers {
+        let (base, _) = mine_yafim_budgeted(&data, cfg(data.support), None);
+        for (bname, plan) in &budgets {
+            let (run, cluster) = mine_yafim_budgeted(&data, cfg(data.support), Some(plan.clone()));
+            assert_eq!(
+                base.result, run.result,
+                "{mname} under the {bname} budget changed mining results"
+            );
+            let mem = cell_counters(&cluster, &format!("{mname} {bname}"));
+            agg.merge(&mem);
+            cells += 1;
+            let _ = writeln!(
+                out,
+                "{:<20} {:>6} | {:>10} {:>6} {:>9} | {:>8} {:>6} {:>8} | {:>9.2}",
+                mname,
+                bname,
+                mem.peak_execution_bytes,
+                mem.spills,
+                mem.degradations,
+                mem.oom_injected,
+                mem.oom_killed,
+                mem.oom_survived_by_degradation,
+                run.total_seconds - base.total_seconds
+            );
+            if *mname == "YAFIM/trie" && *bname == "tight" {
+                representative = Some((cluster, run.result.total()));
+            }
+        }
+    }
+
+    let (mr_base, _) = mine_mr_budgeted(&data, None);
+    for (bname, plan) in &budgets {
+        let (run, cluster) = mine_mr_budgeted(&data, Some(plan.clone()));
+        assert_eq!(
+            mr_base.result, run.result,
+            "MR-Apriori under the {bname} budget changed mining results"
+        );
+        let mem = cell_counters(&cluster, &format!("MR-Apriori {bname}"));
+        agg.merge(&mem);
+        cells += 1;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} | {:>10} {:>6} {:>9} | {:>8} {:>6} {:>8} | {:>9.2}",
+            "MR-Apriori",
+            bname,
+            mem.peak_execution_bytes,
+            mem.spills,
+            mem.degradations,
+            mem.oom_injected,
+            mem.oom_killed,
+            mem.oom_survived_by_degradation,
+            run.total_seconds - mr_base.total_seconds
+        );
+    }
+
+    // Every rung of the ladder must have fired somewhere in the sweep.
+    assert!(
+        agg.spills > 0 && agg.spill_bytes > 0,
+        "the sweep must exercise the spill rung"
+    );
+    assert!(
+        agg.degradations > 0,
+        "the sweep must exercise the matcher step-down rung"
+    );
+    assert!(
+        agg.oom_injected > 0 && agg.oom_killed > 0,
+        "the sweep must exercise the OOM kill-and-retry rung"
+    );
+    assert!(
+        agg.oom_survived_by_degradation > 0,
+        "some injected OOM must be survived by spilling"
+    );
+    assert_eq!(
+        agg.oom_injected,
+        agg.oom_killed + agg.oom_survived_by_degradation,
+        "every injected OOM is either killed or survived by degradation"
+    );
+
+    // Starved beyond use: a node whose per-task slice is below the spill
+    // granule cannot make progress even by streaming through disk, so
+    // admission control must refuse the job with a typed error on both
+    // engines — never return a partial result.
+    let starved = FaultPlan::seeded(seed).with_mem_budget(E_REFUSAL_BUDGET);
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    cluster.faults().set_plan(starved.clone());
+    match Yafim::new(
+        Context::new(cluster.clone()),
+        YafimConfig::new(data.support),
+    )
+    .try_mine("input.dat")
+    {
+        Err(MineError::Exec(ExecError::MemoryRefused { refusal })) => {
+            let _ = writeln!(out, "\nstarved (YAFIM): {refusal}");
+        }
+        Err(e) => panic!("expected a memory refusal, got: {e}"),
+        Ok(_) => panic!("a {E_REFUSAL_BUDGET}-byte node must be refused at admission"),
+    }
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    cluster.faults().set_plan(starved);
+    match MrApriori::new(cluster.clone(), MrAprioriConfig::new(data.support)).mine("input.dat") {
+        Err(MrError::MemoryRefused { refusal }) => {
+            let _ = writeln!(out, "starved (MR): {refusal}");
+        }
+        Err(e) => panic!("expected a memory refusal, got: {e}"),
+        Ok(_) => panic!("a {E_REFUSAL_BUDGET}-byte node must be refused at admission"),
+    }
+    let _ = writeln!(
+        out,
+        "all {cells} budgeted cells returned byte-identical mining results; \
+         ladder: {} spills, {} step-downs, {} OOM injected ({} killed, {} \
+         survived by degradation)",
+        agg.spills,
+        agg.degradations,
+        agg.oom_injected,
+        agg.oom_killed,
+        agg.oom_survived_by_degradation
+    );
+
+    print!("{out}");
+    if !smoke {
+        std::fs::write("results/chaos_e.txt", &out).expect("write results/chaos_e.txt");
+    }
+
+    // Regression-gate manifest: captured from the representative cell
+    // (YAFIM trie matcher under the tight budget — the cell that walks the
+    // most ladder rungs) plus sweep totals.
+    let (rep_cluster, rep_itemsets) = representative.expect("the trie tight cell ran");
+    let dataset_doc = JsonValue::object(vec![
+        ("name", data.name.into()),
+        ("scale", scale.into()),
+        ("support", format!("{:?}", data.support).as_str().into()),
+        ("smoke", JsonValue::Bool(smoke)),
+    ]);
+    let config_doc = JsonValue::object(vec![
+        ("scenario", "E".into()),
+        ("engine", "YAFIM".into()),
+        ("matcher", "trie".into()),
+        ("mem_budget_bytes", E_TIGHT_BUDGET.into()),
+        ("oom_prob", E_OOM_PROB.into()),
+        ("seed", seed.into()),
+    ]);
+    let mut manifest =
+        RunManifest::capture("chaos_e", "yafim", dataset_doc, config_doc, &rep_cluster);
+    manifest.push_metric("chaosE.itemsets", rep_itemsets as f64);
+    manifest.push_metric("chaosE.cells", cells as f64);
+    manifest.push_metric("chaosE.sweep_spills", agg.spills as f64);
+    manifest.push_metric("chaosE.sweep_degradations", agg.degradations as f64);
+    manifest.push_metric("chaosE.sweep_oom_injected", agg.oom_injected as f64);
+    let manifest_path = if smoke {
+        "target/manifests/chaos_e.smoke.manifest.json"
+    } else {
+        "results/chaos_e.manifest.json"
+    };
+    write_manifest(&manifest, manifest_path);
+    println!("wrote {manifest_path}");
+}
+
+/// Read one budgeted cell's memory counters and check the per-cell
+/// invariants: OOM bookkeeping balances, spill bytes imply spill events,
+/// and the critical-path buckets still sum to the makespan (pressure
+/// stalls land in `fault_stall`, not in a leak).
+fn cell_counters(cluster: &SimCluster, label: &str) -> MemoryCounters {
+    let mem = cluster.metrics().snapshot().recovery.mem;
+    assert_eq!(
+        mem.oom_injected,
+        mem.oom_killed + mem.oom_survived_by_degradation,
+        "{label}: OOM bookkeeping must balance"
+    );
+    assert!(
+        mem.spill_bytes == 0 || mem.spills > 0,
+        "{label}: spill bytes without spill events"
+    );
+    assert_bucket_sum(cluster, label);
+    mem
+}
+
+/// Run YAFIM through the typed path ([`Yafim::try_mine`]) — budgeted cells
+/// must complete via the degradation ladder, so any typed failure here is
+/// a harness bug worth a loud panic.
+fn mine_yafim_budgeted(
+    data: &yafim_bench::BenchDataset,
+    config: YafimConfig,
+    plan: Option<FaultPlan>,
+) -> (MinerRun, SimCluster) {
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    if let Some(p) = plan {
+        cluster.faults().set_plan(p);
+    }
+    let run = Yafim::new(Context::new(cluster.clone()), config)
+        .try_mine("input.dat")
+        .unwrap_or_else(|e| panic!("budgeted cell must survive the ladder: {e}"));
+    (run, cluster)
+}
+
+/// Run MR-Apriori (SPC) under an optional plan, panicking on any typed
+/// failure — its map-side combine degrades by spilling, so budgeted cells
+/// always complete.
+fn mine_mr_budgeted(
+    data: &yafim_bench::BenchDataset,
+    plan: Option<FaultPlan>,
+) -> (MinerRun, SimCluster) {
+    let cluster = experiment_cluster(ClusterSpec::paper());
+    load_dataset(&cluster, "input.dat", &data.transactions);
+    if let Some(p) = plan {
+        cluster.faults().set_plan(p);
+    }
+    let run = MrApriori::new(cluster.clone(), MrAprioriConfig::new(data.support))
+        .mine("input.dat")
+        .unwrap_or_else(|e| panic!("budgeted cell must survive the ladder: {e}"));
+    (run, cluster)
 }
 
 /// C: lose a node during every Phase-II pass, with checkpointing off vs

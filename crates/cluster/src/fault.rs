@@ -169,6 +169,16 @@ pub struct FaultPlan {
     /// poisons the first `copies` replicas of that exact block
     /// (`u32::MAX` = all replicas, leaving no clean copy at that site).
     pub targeted_corruptions: Vec<(IntegrityTier, u64, usize, u32)>,
+    /// Probability that one execution-memory acquisition is denied as if
+    /// the executor ran out of memory (rolled per acquisition,
+    /// seed-deterministic). Degradable sites spill and survive; the rest
+    /// kill the attempt for a retry at a doubled memory slice.
+    pub oom_prob: f64,
+    /// Pretend every node has this many bytes of memory instead of the
+    /// cluster spec's `memory_per_node`. Arms the memory governor even
+    /// without `oom_prob`, so tight budgets exercise the real (non-injected)
+    /// pressure ladder.
+    pub mem_budget_override: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -202,6 +212,8 @@ impl FaultPlan {
             cache_corruption_prob: 0.0,
             hdfs_corruption_prob: 0.0,
             targeted_corruptions: Vec::new(),
+            oom_prob: 0.0,
+            mem_budget_override: None,
         }
     }
 
@@ -327,6 +339,51 @@ impl FaultPlan {
         self
     }
 
+    /// Deny each execution-memory acquisition with probability `prob`,
+    /// seed-deterministically.
+    pub fn inject_oom(mut self, prob: f64) -> Self {
+        self.oom_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Cap every node's memory at `bytes` for this run (arms the governor).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget_override = Some(bytes);
+        self
+    }
+
+    /// True when the plan constrains or disturbs execution memory: the
+    /// memory governor arms itself (and starts charging and counting) only
+    /// then, keeping unconstrained timelines byte-identical.
+    pub fn memory_active(&self) -> bool {
+        self.oom_prob > 0.0 || self.mem_budget_override.is_some()
+    }
+
+    /// Seed-deterministic OOM decision for one execution-memory acquisition
+    /// attempt. `roll` indexes the acquisition within its task, `site` tags
+    /// the kind of structure being built, and `attempt` is the retry index —
+    /// each retry runs at a doubled memory slice, so the injected
+    /// probability halves per attempt. Pure: the same plan always denies
+    /// the same acquisitions.
+    pub fn oom_roll(
+        &self,
+        stage_key: u64,
+        partition: usize,
+        roll: u64,
+        site: u64,
+        attempt: u32,
+    ) -> bool {
+        crate::memgov::oom_roll_hash(
+            self.seed,
+            self.oom_prob,
+            stage_key,
+            partition,
+            roll,
+            site,
+            attempt,
+        )
+    }
+
     /// True when the plan can inject silent corruption anywhere. Readers
     /// use this to skip checksum verification (and its virtual-time charge)
     /// entirely on clean runs, keeping fault-free timelines byte-identical.
@@ -374,6 +431,7 @@ impl FaultPlan {
             || self.fetch_failure_prob > 0.0
             || self.hdfs_failure_prob > 0.0
             || self.integrity_active()
+            || self.memory_active()
     }
 
     /// The virtual instant at which the driver *detects* a death at `death`:
@@ -503,6 +561,14 @@ impl FaultPlan {
                         .collect(),
                 ),
             ),
+            ("oom_prob", self.oom_prob.into()),
+            (
+                "mem_budget_override",
+                match self.mem_budget_override {
+                    Some(b) => b.into(),
+                    None => JsonValue::Null,
+                },
+            ),
         ])
     }
 
@@ -534,6 +600,8 @@ impl FaultPlan {
             "cache_corruption_prob",
             "hdfs_corruption_prob",
             "targeted_corruptions",
+            "oom_prob",
+            "mem_budget_override",
         ];
         let obj = match v {
             JsonValue::Object(map) => {
@@ -635,6 +703,12 @@ impl FaultPlan {
         }
         if let Some(p) = num("hdfs_corruption_prob") {
             plan.hdfs_corruption_prob = p.clamp(0.0, 1.0);
+        }
+        if let Some(p) = num("oom_prob") {
+            plan.oom_prob = p.clamp(0.0, 1.0);
+        }
+        if let Some(b) = num("mem_budget_override") {
+            plan.mem_budget_override = Some(b as u64);
         }
         if let Some(JsonValue::Array(items)) = obj.get("targeted_corruptions") {
             for item in items {
@@ -766,6 +840,51 @@ impl IntegrityCounters {
     }
 }
 
+/// Execution-memory governor bookkeeping: how hard the budget was pushed
+/// and which rung of the degradation ladder absorbed the pressure. An OOM
+/// event (seeded injection or a real over-budget acquisition) is either
+/// survived by degradation (a forced spill) or kills the task attempt, so
+/// `oom_injected == oom_killed + oom_survived_by_degradation` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryCounters {
+    /// Highest execution memory any single task held at once, bytes
+    /// (merged with `max`, not summed — it is compared to the budget).
+    pub peak_execution_bytes: u64,
+    /// Buffers spilled to local disk under memory pressure.
+    pub spills: u64,
+    /// Bytes those spills moved through local disk.
+    pub spill_bytes: u64,
+    /// Pass-granularity matcher step-downs (bitmap → trie → hash-tree)
+    /// taken because the preferred structure's footprint estimate did not
+    /// fit the budget.
+    pub degradations: u64,
+    /// OOM events raised by the plan: seeded `oom_prob` denials plus real
+    /// over-budget acquisitions under `mem_budget_override`.
+    pub oom_injected: u64,
+    /// OOM events that killed a task attempt (retried at a doubled slice).
+    pub oom_killed: u64,
+    /// OOM events a degradable site absorbed by spilling instead of dying.
+    pub oom_survived_by_degradation: u64,
+}
+
+impl MemoryCounters {
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &MemoryCounters) {
+        self.peak_execution_bytes = self.peak_execution_bytes.max(other.peak_execution_bytes);
+        self.spills += other.spills;
+        self.spill_bytes += other.spill_bytes;
+        self.degradations += other.degradations;
+        self.oom_injected += other.oom_injected;
+        self.oom_killed += other.oom_killed;
+        self.oom_survived_by_degradation += other.oom_survived_by_degradation;
+    }
+
+    /// True when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        *self != MemoryCounters::default()
+    }
+}
+
 /// Failure/retry/speculation counters. Attached to every recorded stage and
 /// aggregated by the metrics sink; the stage report prints them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -803,6 +922,8 @@ pub struct RecoveryCounters {
     pub max_replay_depth: u64,
     /// Silent-corruption detections and repairs (checksummed tiers).
     pub integrity: IntegrityCounters,
+    /// Execution-memory pressure, spills and OOM outcomes (the governor).
+    pub mem: MemoryCounters,
 }
 
 impl RecoveryCounters {
@@ -823,6 +944,7 @@ impl RecoveryCounters {
         self.checkpoint_reads += other.checkpoint_reads;
         self.max_replay_depth = self.max_replay_depth.max(other.max_replay_depth);
         self.integrity.merge(&other.integrity);
+        self.mem.merge(&other.mem);
     }
 
     /// True when any counter is nonzero.
@@ -1861,7 +1983,9 @@ mod tests {
             .corrupt_cache(0.03125)
             .corrupt_hdfs(0.015625)
             .corrupt_block(IntegrityTier::Cache, 9, 3)
-            .corrupt_all_replicas(IntegrityTier::Hdfs, 4, 0);
+            .corrupt_all_replicas(IntegrityTier::Hdfs, 4, 0)
+            .inject_oom(0.03125)
+            .with_mem_budget(512 * 1024 * 1024);
         let text = plan.to_json().to_string();
         let back = FaultPlan::from_json(&crate::json::parse(&text).expect("valid JSON"))
             .expect("well-formed plan");
@@ -1886,6 +2010,80 @@ mod tests {
                 (IntegrityTier::Hdfs, 4, 0, u32::MAX),
             ]
         );
+        assert_eq!(back.oom_prob, 0.03125);
+        assert_eq!(back.mem_budget_override, Some(512 * 1024 * 1024));
+        // A plan without the override round-trips the `null` too.
+        let bare = FaultPlan::seeded(1).inject_oom(0.5);
+        let bare_back =
+            FaultPlan::from_json(&crate::json::parse(&bare.to_json().to_string()).unwrap())
+                .unwrap();
+        assert_eq!(bare_back.mem_budget_override, None);
+        assert_eq!(bare_back.oom_prob, 0.5);
+        assert!(bare.memory_active() && bare.has_faults());
+        assert!(!FaultPlan::seeded(1).memory_active());
+    }
+
+    #[test]
+    fn oom_rolls_are_deterministic_and_halve_per_attempt() {
+        let plan = FaultPlan::seeded(21).inject_oom(0.5);
+        let a: Vec<bool> = (0..64).map(|p| plan.oom_roll(9, p, 0, 1, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|p| plan.oom_roll(9, p, 0, 1, 0)).collect();
+        assert_eq!(a, b, "same plan denies the same acquisitions");
+        assert!(
+            a.iter().any(|x| *x) && a.iter().any(|x| !*x),
+            "mixed at 50%"
+        );
+        // Distinct sites and rolls are independent hash domains.
+        let other_site: Vec<bool> = (0..64).map(|p| plan.oom_roll(9, p, 0, 2, 0)).collect();
+        assert_ne!(a, other_site);
+        // Retry attempts are denied at a halved rate (doubled slice).
+        let denials = |attempt: u32| {
+            (0..4096)
+                .filter(|p| plan.oom_roll(9, *p, 0, 1, attempt))
+                .count()
+        };
+        let (d0, d1) = (denials(0), denials(1));
+        assert!(
+            d1 * 3 < d0 * 2,
+            "attempt 1 should deny roughly half as often: {d0} vs {d1}"
+        );
+        assert!(!FaultPlan::seeded(21).oom_roll(9, 0, 0, 1, 0), "inert");
+    }
+
+    #[test]
+    fn memory_counters_merge_peak_with_max_and_flow_through_recovery() {
+        let mut a = MemoryCounters {
+            peak_execution_bytes: 1000,
+            spills: 2,
+            spill_bytes: 64,
+            oom_injected: 1,
+            oom_survived_by_degradation: 1,
+            ..MemoryCounters::default()
+        };
+        let b = MemoryCounters {
+            peak_execution_bytes: 700,
+            spills: 1,
+            spill_bytes: 32,
+            degradations: 1,
+            oom_injected: 1,
+            oom_killed: 1,
+            ..MemoryCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.peak_execution_bytes, 1000, "peak merges with max");
+        assert_eq!(a.spills, 3);
+        assert_eq!(a.spill_bytes, 96);
+        assert_eq!(a.degradations, 1);
+        assert_eq!(a.oom_injected, a.oom_killed + a.oom_survived_by_degradation);
+        assert!(a.any());
+
+        let mut r = RecoveryCounters::default();
+        r.merge(&RecoveryCounters {
+            mem: b,
+            ..RecoveryCounters::default()
+        });
+        assert_eq!(r.mem.oom_killed, 1);
+        assert!(r.any(), "memory counters alone make recovery non-empty");
     }
 
     #[test]
@@ -1894,6 +2092,26 @@ mod tests {
         let err = FaultPlan::from_json(&v).expect_err("typo'd field must fail");
         assert!(err.contains("fetch_retrys"), "error names the field: {err}");
         assert!(err.contains("unknown fault plan field"), "got: {err}");
+        // The known-field list the error prints advertises the memory knobs,
+        // so a typo'd `oom_prob`/`mem_budget_override` points at the fix.
+        assert!(
+            err.contains("oom_prob") && err.contains("mem_budget_override"),
+            "known-field list names the memory knobs: {err}"
+        );
+    }
+
+    #[test]
+    fn minimal_oom_plan_json_parses() {
+        // Mirror of `results/oom.fault.json`: hand-written plans may carry
+        // just the memory knobs and inherit every other default.
+        let v = crate::json::parse(
+            r#"{"seed": 42, "oom_prob": 0.05, "mem_budget_override": 25165824}"#,
+        )
+        .unwrap();
+        let plan = FaultPlan::from_json(&v).expect("minimal plan");
+        assert_eq!(plan.oom_prob, 0.05);
+        assert_eq!(plan.mem_budget_override, Some(24 * 1024 * 1024));
+        assert!(plan.memory_active());
     }
 
     #[test]

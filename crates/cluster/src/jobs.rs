@@ -47,6 +47,10 @@ pub const DEFAULT_RAMP_INTERVAL: f64 = 0.0;
 /// splitting.
 pub const DEFAULT_SKEW_THRESHOLD: f64 = 0.0;
 
+/// Default share of a node's memory given to the storage (cache) region —
+/// the `* 6 / 10` the cache manager has always used.
+pub const DEFAULT_STORAGE_FRACTION: f64 = 0.6;
+
 /// Tunable scheduler behavior, attached to a `SimCluster`.
 ///
 /// The default configuration reproduces the pre-multi-job scheduler
@@ -72,6 +76,11 @@ pub struct SchedulerConfig {
     pub skew_threshold: f64,
     /// Upper bound on the pieces one straggler partition splits into.
     pub max_skew_splits: u32,
+    /// Fraction of each node's memory given to the storage (cache) region;
+    /// the rest is execution memory (`spark.memory.storageFraction`). Must
+    /// lie in `(0, 1]`. The 0.6 default reproduces the historical
+    /// `memory_per_node * 6 / 10` cache capacity bit-for-bit.
+    pub storage_fraction: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -83,6 +92,7 @@ impl Default for SchedulerConfig {
             executor_idle_timeout: 0.0,
             skew_threshold: DEFAULT_SKEW_THRESHOLD,
             max_skew_splits: 4,
+            storage_fraction: DEFAULT_STORAGE_FRACTION,
         }
     }
 }
@@ -505,6 +515,7 @@ mod tests {
         assert_eq!(c.locality_wait, crate::sched::DEFAULT_LOCALITY_WAIT);
         assert_eq!(c.ramp_interval, 0.0, "dynamic allocation off by default");
         assert_eq!(c.skew_threshold, 0.0, "skew splitting off by default");
+        assert_eq!(c.storage_fraction, 0.6, "legacy 60% cache split");
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //!   exhaustive attribution buckets plus per-stage skew metrics.
 //! * [`manifest`] — versioned machine-readable run manifests for the
 //!   bench-regression gate.
+//! * [`memgov`] — the unified execution-memory governor: region split,
+//!   per-task budgets, OOM injection and the graceful-degradation ladder.
 //! * [`trace`] — Chrome trace event exporter (Perfetto / chrome://tracing).
 //! * [`report`] — Spark-UI-style per-stage and per-iteration text tables.
 //! * [`pool`] — the real worker thread pool used to execute tasks.
@@ -50,6 +52,7 @@ pub mod hdfs;
 pub mod jobs;
 pub mod json;
 pub mod manifest;
+pub mod memgov;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
@@ -66,7 +69,7 @@ pub use costmodel::CostModel;
 pub use critical::{critical_path, CriticalPathBuckets, CriticalPathReport, StageSkew};
 pub use fault::{
     FaultController, FaultError, FaultPlan, FaultySchedule, IntegrityCounters, IntegrityTier,
-    RecoveryCounters, TransientKind, TransientOutcome, DEFAULT_BLACKLIST_AFTER,
+    MemoryCounters, RecoveryCounters, TransientKind, TransientOutcome, DEFAULT_BLACKLIST_AFTER,
     DEFAULT_FETCH_BACKOFF_BASE, DEFAULT_FETCH_RETRIES, DEFAULT_HEARTBEAT_INTERVAL,
     DEFAULT_MAX_TASK_FAILURES, DEFAULT_RESUBMIT_DELAY, DEFAULT_SPECULATION_MULTIPLIER,
 };
@@ -76,6 +79,10 @@ pub use jobs::{
     JobId, JobQueue, JobTicket, PoolPolicy, PoolSpec, SchedulerConfig, SharedBlacklist,
 };
 pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use memgov::{
+    storage_capacity, MemEffect, MemGrant, MemoryBudget, MemoryRefusal, OomAbort, TaskMemory,
+    SPILL_GRANULE,
+};
 pub use metrics::{
     DropCounts, Event, EventKind, JobSpan, Metrics, MetricsCapacity, MetricsSnapshot,
     StageExecution, StageSpan, TaskExecution, TaskSpan,
@@ -226,6 +233,19 @@ impl SimCluster {
     /// node is killed).
     pub fn faults(&self) -> &FaultController {
         &self.inner.faults
+    }
+
+    /// The execution-memory budget the governor enforces for this cluster,
+    /// or `None` when the installed fault plan does not arm it (no
+    /// `oom_prob`, no `mem_budget_override`) — the inert path charges and
+    /// counts nothing, keeping unconstrained runs byte-identical.
+    pub fn memory_budget(&self) -> Option<MemoryBudget> {
+        if !self.inner.faults.active() {
+            return None;
+        }
+        let plan = self.inner.faults.plan();
+        let fraction = self.inner.sched.lock().config.storage_fraction;
+        MemoryBudget::from_plan(&self.inner.spec, fraction, &self.inner.cost, &plan)
     }
 
     /// Convenience: a fresh [`VirtualScheduler`] for this cluster's current

@@ -110,6 +110,18 @@ impl RunManifest {
         ] {
             metrics.insert(format!("integrity.{name}"), v as f64);
         }
+        let m = &r.mem;
+        for (name, v) in [
+            ("peak_execution_bytes", m.peak_execution_bytes),
+            ("spills", m.spills),
+            ("spill_bytes", m.spill_bytes),
+            ("degradations", m.degradations),
+            ("oom_injected", m.oom_injected),
+            ("oom_killed", m.oom_killed),
+            ("oom_survived_by_degradation", m.oom_survived_by_degradation),
+        ] {
+            metrics.insert(format!("mem.{name}"), v as f64);
+        }
         for (name, v) in &registry.counters {
             metrics.insert(format!("counter.{name}"), *v as f64);
         }
@@ -263,6 +275,11 @@ mod tests {
         assert_eq!(back.schema_version, MANIFEST_SCHEMA_VERSION);
         assert_eq!(back.metrics["virtual_seconds"], 1.5);
         assert_eq!(back.metrics["counter.executor.tasks"], 2.0);
+        assert_eq!(
+            back.metrics["mem.spills"], 0.0,
+            "mem.* keys exist (zero-valued) even without an armed governor"
+        );
+        assert_eq!(back.metrics["mem.peak_execution_bytes"], 0.0);
         assert_eq!(back.metrics["hist.executor.task_seconds.count"], 1.0);
         assert_eq!(back.metrics["pipeline.records"], 100.0);
     }

@@ -334,6 +334,23 @@ pub fn full_report(metrics: &Metrics) -> String {
             i.repaired_via_resubmit
         );
     }
+    // The memory governor's line, only when a plan armed it and something
+    // actually happened (spill, step-down, or OOM).
+    let m = &r.mem;
+    if m.any() {
+        let _ = writeln!(
+            out,
+            "memory: peak {} execution | {} spills ({}) | {} step-downs | \
+             {} OOM injected ({} killed, {} survived by degradation)",
+            fmt_bytes(m.peak_execution_bytes),
+            m.spills,
+            fmt_bytes(m.spill_bytes),
+            m.degradations,
+            m.oom_injected,
+            m.oom_killed,
+            m.oom_survived_by_degradation
+        );
+    }
     out
 }
 
@@ -571,6 +588,7 @@ mod tests {
         assert!(!report.contains("recovery:"));
         assert!(!report.contains("transients:"));
         assert!(!report.contains("integrity:"));
+        assert!(!report.contains("memory:"));
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub struct TaskProfile {
     /// materializes at every operator, so this counter is the direct
     /// measure of what fusion saves.
     pub bytes_materialized: u64,
+    /// Execution-memory governor outcomes for this task (peak bytes held,
+    /// spills, OOM events). All-zero unless the fault plan arms the
+    /// governor. `peak_execution_bytes` merges with `max`, the rest sum.
+    pub mem: crate::fault::MemoryCounters,
 }
 
 impl TaskProfile {
@@ -165,6 +169,7 @@ impl TaskProfile {
         self.records_read += other.records_read;
         self.records_written += other.records_written;
         self.bytes_materialized += other.bytes_materialized;
+        self.mem.merge(&other.mem);
     }
 }
 
@@ -185,8 +190,14 @@ mod tests {
         b.records_read = 7;
         b.records_written = 4;
         b.bytes_materialized = 64;
+        a.mem.peak_execution_bytes = 500;
+        a.mem.spills = 1;
+        b.mem.peak_execution_bytes = 300;
+        b.mem.spills = 2;
         a.merge(&b);
         assert_eq!(a.work.records_in, 5);
+        assert_eq!(a.mem.peak_execution_bytes, 500, "peak merges with max");
+        assert_eq!(a.mem.spills, 3);
         assert_eq!(a.shuffle_read_bytes, 10);
         assert_eq!(a.shuffle_write_bytes, 20);
         assert_eq!(a.cache_hits, 1);

@@ -54,8 +54,76 @@ use crate::types::{
     JVM_BITMAP_WORD_UNITS, JVM_PAIR_COUNT_UNITS, JVM_TREE_VISIT_UNITS,
 };
 use std::sync::Arc;
-use yafim_cluster::{ByteSize, DfsError, EventKind, SimDuration};
-use yafim_rdd::{Context, Rdd};
+use yafim_cluster::{
+    memgov, ByteSize, DfsError, EventKind, RecoveryCounters, SimDuration, SPILL_GRANULE,
+};
+use yafim_rdd::{Context, ExecError, Rdd};
+
+/// Why a mining run could not complete. [`Yafim::mine`] panics on the
+/// `Exec` side (faults are exceptional for the classic entry point);
+/// [`Yafim::try_mine`] surfaces both as typed errors so chaos harnesses
+/// and callers with fault plans can match on them.
+#[derive(Debug)]
+pub enum MineError {
+    /// The input path is missing from simulated HDFS.
+    Dfs(DfsError),
+    /// The engine failed under the active fault plan: a stage aborted, a
+    /// corruption proved unrepairable, a task exhausted its OOM retry
+    /// ladder, or admission control refused the job's memory footprint.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for MineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MineError::Dfs(e) => write!(f, "{e}"),
+            MineError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MineError::Dfs(e) => Some(e),
+            MineError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<DfsError> for MineError {
+    fn from(e: DfsError) -> Self {
+        MineError::Dfs(e)
+    }
+}
+
+impl From<ExecError> for MineError {
+    fn from(e: ExecError) -> Self {
+        MineError::Exec(e)
+    }
+}
+
+/// Driver-side footprint estimates for the memory-degradation ladder.
+/// Deliberately coarse: they only need to rank the counting structures
+/// (bitmap arena ≥ trie ≥ hash tree) and catch order-of-magnitude
+/// overflows *before* a pass runs — the task-side governor still enforces
+/// the real reservations.
+fn triangle_footprint(n_dense: usize) -> u64 {
+    8 * tri_len(n_dense) as u64
+}
+
+/// Per-task columnar arena estimate: one `u64` bitset row per dense rank
+/// over the partition's share of the transactions.
+fn bitmap_footprint(n_dense: usize, lines: usize, partitions: usize) -> u64 {
+    let row_words = (lines / partitions.max(1)) as u64 / 64 + 1;
+    8 * n_dense as u64 * row_words
+}
+
+/// Trie arena (≤ one node per candidate item, ~16 bytes each) plus the
+/// per-task count array.
+fn trie_footprint(n_candidates: usize, k: usize) -> u64 {
+    (n_candidates * k) as u64 * 16 + 8 * n_candidates as u64
+}
 
 /// Which counting strategy Phase II uses for passes `k ≥ 3`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -201,8 +269,23 @@ impl Yafim {
     }
 
     /// Mine the text dataset at `input` (one whitespace-separated
-    /// transaction per line) on simulated HDFS.
+    /// transaction per line) on simulated HDFS. Panics if the engine fails
+    /// under an active fault plan (stage abort, unrepairable corruption,
+    /// out-of-memory); use [`Yafim::try_mine`] to receive those as typed
+    /// errors instead.
     pub fn mine(&self, input: &str) -> Result<MinerRun, DfsError> {
+        match self.try_mine(input) {
+            Ok(run) => Ok(run),
+            Err(MineError::Dfs(e)) => Err(e),
+            Err(MineError::Exec(e)) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Yafim::mine`], but engine failures under an active fault plan
+    /// surface as [`MineError::Exec`] instead of panics — including the
+    /// memory governor's typed refusal when the job's smallest viable
+    /// footprint cannot fit the execution budget.
+    pub fn try_mine(&self, input: &str) -> Result<MinerRun, MineError> {
         let ctx = &self.ctx;
         // Attribute the whole run to its scheduler pool; the guard reports
         // completion to any bound JobQueue ticket when dropped.
@@ -220,6 +303,19 @@ impl Yafim {
         // fractional MinSup without an extra counting job.
         let file = ctx.cluster().hdfs().get(input)?;
         let min_sup = self.config.min_support.resolve(file.num_lines() as u64);
+
+        // ---- Admission control (degradation ladder, last rung) ----
+        //
+        // The smallest viable footprint of any pass is one spill granule of
+        // combine buffer per pass-1 task: below that a task cannot make
+        // progress even by streaming through disk, so running the job could
+        // only end in OOM kills. Refuse it up front, typed — never a wrong
+        // or silently-partial result.
+        if let Some(budget) = ctx.cluster().memory_budget() {
+            if let Err(refusal) = budget.admit(SPILL_GRANULE) {
+                return Err(MineError::Exec(ExecError::MemoryRefused { refusal }));
+            }
+        }
 
         let run_start = metrics.now();
         let mut passes: Vec<PassTiming> = Vec::new();
@@ -239,7 +335,7 @@ impl Yafim {
             .map(|item| (item, 1u64))
             .reduce_by_key(|a, b| a + b)
             .filter(move |&(_, c)| c >= min_sup)
-            .collect();
+            .try_collect()?;
         let mut l1: Vec<(Itemset, u64)> = l1_pairs
             .iter()
             .map(|&(i, c)| (Itemset::single(i), c))
@@ -335,6 +431,11 @@ impl Yafim {
         // and reused (from cache) by every later one.
         let mut columnar: Option<Rdd<ColumnarPartition>> = None;
 
+        // Per-task budget cap, fixed for the whole run when the governor is
+        // armed: the driver checks each pass's preferred counting structure
+        // against it and steps down (ladder rung 2) *before* the pass runs.
+        let task_limit = ctx.cluster().memory_budget().map(|b| b.per_task_limit);
+
         let mut levels: Vec<Vec<(Itemset, u64)>> = vec![l1_work];
         let mut pass = 2usize;
         loop {
@@ -344,13 +445,17 @@ impl Yafim {
             let pass_start = metrics.now();
 
             let n_dense = encoder.as_ref().map_or(0, |e| e.len());
-            let use_triangle = pass == 2
+            let mut use_triangle = pass == 2
                 && p2.project
                 && p2.triangle_pass2
                 && tri_len(n_dense) <= TRIANGLE_MAX_CELLS;
+            if use_triangle && task_limit.is_some_and(|l| triangle_footprint(n_dense) > l) {
+                self.note_degradation(pass, "triangle array -> candidate store");
+                use_triangle = false;
+            }
 
             let (n_candidates, counted, mut lk) = if use_triangle {
-                match self.pass2_triangle(&work, n_dense, min_sup) {
+                match self.pass2_triangle(&work, n_dense, min_sup)? {
                     Some(v) => v,
                     None => break, // |L1| < 2: no pairs to count
                 }
@@ -361,10 +466,21 @@ impl Yafim {
                     .iter()
                     .map(|(s, _)| s.clone())
                     .collect();
-                let outcome = if use_bitmap {
-                    self.pass_bitmap(&work, &mut columnar, n_dense, &prev, pass, min_sup)
+                // An armed governor steps the bitmap down to the trie when
+                // its columnar arena cannot fit the per-task budget (the
+                // arena already built and cached keeps serving — only its
+                // construction is budgeted).
+                let bitmap_fits_budget = columnar.is_some()
+                    || !task_limit.is_some_and(|l| {
+                        bitmap_footprint(n_dense, file.num_lines(), partitions) > l
+                    });
+                let outcome = if use_bitmap && bitmap_fits_budget {
+                    self.pass_bitmap(&work, &mut columnar, n_dense, &prev, pass, min_sup)?
                 } else {
-                    self.pass_with_store(&work, &prev, &p2, pass, min_sup)
+                    if use_bitmap {
+                        self.note_degradation(pass, "bitmap arena -> trie matcher");
+                    }
+                    self.pass_with_store(&work, &prev, &p2, pass, min_sup)?
                 };
                 match outcome {
                     Some(v) => v,
@@ -459,7 +575,7 @@ impl Yafim {
                 passes_since_ckpt += 1;
                 if passes_since_ckpt >= ckpt_every {
                     passes_since_ckpt = 0;
-                    let cp = work.checkpoint().cache();
+                    let cp = work.try_checkpoint()?.cache();
                     // The checkpoint job materialized `work`; it and
                     // whatever it superseded can release cluster memory, and
                     // the previous checkpoint's blocks are now stale.
@@ -522,14 +638,43 @@ impl Yafim {
     /// with `ap_gen(L1)`'s candidate index for `{a, b}`, so counts (and the
     /// reported candidate total) are identical to the store path.
     ///
+    /// Record one driver-side counting-structure step-down (ladder rung 2):
+    /// bump `mem.degradations` in the registry and the run's recovery
+    /// block, and log the decision as a zero-cost event.
+    fn note_degradation(&self, pass: usize, what: &str) {
+        let mut rec = RecoveryCounters::default();
+        rec.mem.degradations = 1;
+        self.ctx.metrics().note_recovery(&rec);
+        self.ctx
+            .cluster()
+            .registry()
+            .counter("mem.degradations")
+            .inc(1);
+        self.ctx.metrics().advance_with_event(
+            SimDuration::ZERO,
+            EventKind::Other,
+            format!("memory step-down pass {pass}: {what}"),
+        );
+    }
+
+    /// Hard per-task memory cap when the governor is armed.
+    fn task_limit(&self) -> Option<u64> {
+        self.ctx.cluster().memory_budget().map(|b| b.per_task_limit)
+    }
+
     /// Returns `(|C2|, surviving count, L2 in rank space)`, or `None` when
     /// there are no pairs to count.
-    fn pass2_triangle(&self, work: &Rdd<Vec<Item>>, n_dense: usize, min_sup: u64) -> PassOutcome {
+    fn pass2_triangle(
+        &self,
+        work: &Rdd<Vec<Item>>,
+        n_dense: usize,
+        min_sup: u64,
+    ) -> Result<PassOutcome, ExecError> {
         let metrics = self.ctx.metrics().clone();
         let cost = self.ctx.cluster().cost().clone();
         let n_candidates = tri_len(n_dense);
         if n_candidates == 0 {
-            return None;
+            return Ok(None);
         }
         metrics.advance_with_event(
             cost.cpu(n_dense as u64),
@@ -539,6 +684,9 @@ impl Yafim {
 
         let counted: Vec<(u32, u64)> = work
             .map_partitions(move |txs, tc| {
+                // The triangle is this task's execution memory; an injected
+                // (or real) denial kills the attempt into the retry ladder.
+                tc.try_reserve(8 * n_candidates as u64, memgov::site::TRIANGLE, false);
                 let mut counts = vec![0u64; n_candidates];
                 let mut pairs = 0u64;
                 for t in txs {
@@ -566,7 +714,7 @@ impl Yafim {
             })
             .reduce_by_key(|a, b| a + b)
             .filter(move |&(_, c)| c >= min_sup)
-            .collect();
+            .try_collect()?;
 
         let mut counted = counted;
         counted.sort_unstable_by_key(|&(i, _)| i);
@@ -577,7 +725,7 @@ impl Yafim {
                 (Itemset::from_sorted(vec![a as u32, b as u32]), c)
             })
             .collect();
-        Some((n_candidates, lk.len(), lk))
+        Ok(Some((n_candidates, lk.len(), lk)))
     }
 
     /// One Phase-II pass through a broadcast [`CandidateStore`] (hash tree
@@ -593,7 +741,7 @@ impl Yafim {
         p2: &Phase2Config,
         pass: usize,
         min_sup: u64,
-    ) -> PassOutcome {
+    ) -> Result<PassOutcome, ExecError> {
         let ctx = &self.ctx;
         let metrics = ctx.metrics().clone();
         let cost = ctx.cluster().cost().clone();
@@ -607,16 +755,28 @@ impl Yafim {
             format!("ap_gen pass {pass}"),
         );
         if candidates.is_empty() {
-            return None;
+            return Ok(None);
         }
         let n_candidates = candidates.len();
 
         // Driver: build the candidate store and broadcast it to the workers.
-        // Matcher::Bitmap lands here only when the density guard refused
-        // the columnar projection; the trie is its fallback store.
+        // Matcher::Bitmap lands here only when the density guard (or the
+        // memory governor) refused the columnar projection; the trie is its
+        // fallback store. An armed governor steps a trie whose arena would
+        // overflow the per-task budget down to the smaller hash tree.
         let store: Box<dyn CandidateStore> = match p2.matcher {
             Matcher::HashTree => Box::new(HashTree::build(candidates)),
-            Matcher::Trie | Matcher::Bitmap => Box::new(CandidateTrie::build(candidates)),
+            Matcher::Trie | Matcher::Bitmap => {
+                if self
+                    .task_limit()
+                    .is_some_and(|l| trie_footprint(n_candidates, pass) > l)
+                {
+                    self.note_degradation(pass, "trie -> hash tree");
+                    Box::new(HashTree::build(candidates))
+                } else {
+                    Box::new(CandidateTrie::build(candidates))
+                }
+            }
         };
         metrics.advance_with_event(
             cost.cpu(2 * n_candidates as u64),
@@ -635,6 +795,13 @@ impl Yafim {
                 // Each task reads the broadcast store (already paid for
                 // once, virtually, at broadcast time).
                 tc.note_broadcast_read(store_bytes);
+                // The deserialized store plus the count array are this
+                // task's execution memory.
+                tc.try_reserve(
+                    store_bytes + 8 * n_candidates as u64,
+                    memgov::site::CANDIDATE_STORE,
+                    false,
+                );
                 let mut counts = vec![0u64; n_candidates];
                 let mut scratch = MatchScratch::default();
                 let mut visits = 0u64;
@@ -656,7 +823,7 @@ impl Yafim {
             })
             .reduce_by_key(|a, b| a + b)
             .filter(move |&(_, c)| c >= min_sup)
-            .collect();
+            .try_collect()?;
 
         // Resolve surviving indices against the store exactly once per
         // pass. The tasks have dropped their broadcast handles by now, so
@@ -687,7 +854,7 @@ impl Yafim {
                 .map(|&(idx, c)| (store.candidates()[idx as usize].clone(), c))
                 .collect(),
         };
-        Some((n_candidates, lk.len(), lk))
+        Ok(Some((n_candidates, lk.len(), lk)))
     }
 
     /// Project `work` into the cached columnar bitmap store: one job,
@@ -708,6 +875,13 @@ impl Yafim {
         let bytes = ctx.cluster().registry().counter("bitmap.build_bytes");
         work.map_partitions(move |txs, tc| {
             let col = ColumnarPartition::build(n_dense, txs);
+            // The arena is execution memory while it is being built (it
+            // only becomes a budgeted cache block once inserted).
+            tc.try_reserve(
+                8 * col.arena_words() as u64,
+                memgov::site::BITMAP_ARENA,
+                false,
+            );
             // Physical build: write the arena once, touch one bit per item
             // occurrence.
             tc.add_mem_read(8 * col.arena_words() as u64);
@@ -735,7 +909,7 @@ impl Yafim {
         prev: &[Itemset],
         pass: usize,
         min_sup: u64,
-    ) -> PassOutcome {
+    ) -> Result<PassOutcome, ExecError> {
         let ctx = &self.ctx;
         let metrics = ctx.metrics().clone();
         let cost = ctx.cluster().cost().clone();
@@ -749,7 +923,7 @@ impl Yafim {
             format!("ap_gen pass {pass}"),
         );
         if candidates.is_empty() {
-            return None;
+            return Ok(None);
         }
         let n_candidates = candidates.len();
 
@@ -803,7 +977,7 @@ impl Yafim {
             })
             .reduce_by_key(|a, b| a + b)
             .filter(move |&(_, c)| c >= min_sup)
-            .collect();
+            .try_collect()?;
 
         // Resolve surviving indices against the broadcast list once per
         // pass, draining it by value when the driver holds the last
@@ -831,7 +1005,7 @@ impl Yafim {
                 .map(|&(idx, c)| (list.0[idx as usize].clone(), c))
                 .collect(),
         };
-        Some((n_candidates, lk.len(), lk))
+        Ok(Some((n_candidates, lk.len(), lk)))
     }
 }
 

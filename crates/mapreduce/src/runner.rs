@@ -6,9 +6,10 @@ use crate::job::{MapReduceJob, MrKey, MrValue};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use yafim_cluster::{
-    bucket_of, fx_hash64, slice_bytes, DetailedSchedule, DfsError, DfsFile, EventKind, FaultError,
-    IntegrityCounters, IntegrityTier, RecoveryCounters, SimCluster, SimDuration, StageExecution,
-    TaskExecution, TaskProfile, TaskSpec, WorkCounters,
+    bucket_of, fx_hash64, memgov, slice_bytes, DetailedSchedule, DfsError, DfsFile, EventKind,
+    FaultError, IntegrityCounters, IntegrityTier, MemoryRefusal, RecoveryCounters, SimCluster,
+    SimDuration, StageExecution, TaskExecution, TaskMemory, TaskProfile, TaskSpec, WorkCounters,
+    SPILL_GRANULE,
 };
 
 /// Why a MapReduce job failed: the input is missing, or the active fault
@@ -31,6 +32,13 @@ pub enum MrError {
         /// Human-readable description of the poisoned data.
         detail: String,
     },
+    /// The memory governor's admission control refused the job before
+    /// running it: its smallest viable per-task footprint cannot fit the
+    /// execution budget even with full borrowing from storage.
+    MemoryRefused {
+        /// Required vs available bytes per task.
+        refusal: MemoryRefusal,
+    },
 }
 
 impl std::fmt::Display for MrError {
@@ -39,6 +47,7 @@ impl std::fmt::Display for MrError {
             MrError::Dfs(e) => write!(f, "{e}"),
             MrError::Fault { stage, source } => write!(f, "stage `{stage}` aborted: {source}"),
             MrError::Integrity { detail } => write!(f, "data integrity failure: {detail}"),
+            MrError::MemoryRefused { refusal } => write!(f, "{refusal}"),
         }
     }
 }
@@ -48,7 +57,7 @@ impl std::error::Error for MrError {
         match self {
             MrError::Dfs(e) => Some(e),
             MrError::Fault { source, .. } => Some(source),
-            MrError::Integrity { .. } => None,
+            MrError::Integrity { .. } | MrError::MemoryRefused { .. } => None,
         }
     }
 }
@@ -164,6 +173,17 @@ impl MrRunner {
         let metrics = cluster.metrics().clone();
         let file = cluster.hdfs().get(&job.input)?;
 
+        // ---- Admission control (memory governor, last ladder rung) ----
+        //
+        // A per-task slice below one spill granule cannot stream its
+        // map-side combine buffer through disk, so the job could only end
+        // in OOM kills: refuse it up front with a typed error.
+        if let Some(budget) = cluster.memory_budget() {
+            if let Err(refusal) = budget.admit(SPILL_GRANULE) {
+                return Err(MrError::MemoryRefused { refusal });
+            }
+        }
+
         let job_span = metrics.begin_job(job.name.clone());
         metrics.advance(SimDuration::from_secs(cost.mr_job_overhead));
 
@@ -241,6 +261,10 @@ impl MrRunner {
         let metrics_map = metrics.clone();
         let cost_map = cost.clone();
         let replicas_map = split_replicas.clone();
+        // Memory governor: every map task reserves its combine buffer
+        // against the same per-task slice; rolls are keyed by (job, split).
+        let mem_budget = cluster.memory_budget();
+        let mem_stage_key = fx_hash64(&(job.name.as_str(), metrics.now().as_secs().to_bits()));
 
         type MapOut<KM, VM> = (Vec<Vec<(KM, VM)>>, TaskProfile);
         let map_outs: Vec<MapOut<KM, VM>> =
@@ -334,6 +358,17 @@ impl MrRunner {
                         // Checksum the map output at write time.
                         w.add_stall_micros((cost_map.checksum(bytes).as_secs() * 1e6) as u64);
                     }
+                    // The combine buffer is execution memory; a denial
+                    // (budget overflow or injected OOM) spills it through
+                    // local disk — the buffer is degradable, so the
+                    // governor never kills a map task.
+                    let tm = TaskMemory::new(mem_budget, mem_stage_key, i);
+                    let (_, fx) = tm.try_reserve(bytes, memgov::site::MR_COMBINE, true);
+                    w.add_stall_micros(fx.stall_micros);
+                    if fx.spill_disk_bytes > 0 {
+                        w.add_disk_write(fx.spill_disk_bytes);
+                        w.add_disk_read(fx.spill_disk_bytes);
+                    }
                     // Spill traffic: write the sorted runs, read them back for
                     // the merge.
                     let spill = (bytes as f64 * spill_factor / 2.0) as u64;
@@ -344,6 +379,7 @@ impl MrRunner {
                         work: w,
                         shuffle_write_bytes: bytes,
                         broadcast_read_bytes: side_bytes,
+                        mem: fx.mem,
                         ..TaskProfile::new()
                     };
                     (buckets, profile)
@@ -365,8 +401,13 @@ impl MrRunner {
             .collect();
         let reread: Vec<SimDuration> = splits.iter().map(|s| cost.net_transfer(s.bytes)).collect();
         let map_label = format!("{}: map", job.name);
-        let (detailed, recovery, pad, queue) =
+        let (detailed, mut recovery, pad, queue) =
             self.schedule_wave(&map_label, &task_specs, Some(&reread))?;
+        // Roll the governor's per-task outcomes up into the wave's recovery
+        // block (peak merges with max, the rest sum).
+        for (_, p) in &map_outs {
+            recovery.mem.merge(&p.mem);
+        }
         metrics.record_stage_with_recovery(
             StageExecution {
                 label: map_label,

@@ -110,9 +110,20 @@ pub struct CacheManager {
 
 impl CacheManager {
     /// Cache sized from the cluster spec (a fraction of node memory is
-    /// reserved for execution, as in Spark; we budget 60% for storage).
+    /// reserved for execution, as in Spark; storage gets the default 60%).
     pub fn new(spec: &ClusterSpec) -> Self {
-        Self::with_capacity(spec.nodes as usize, spec.memory_per_node * 6 / 10)
+        Self::with_fraction(spec, yafim_cluster::jobs::DEFAULT_STORAGE_FRACTION)
+    }
+
+    /// Cache sized as `storage_fraction` of node memory — the scheduler
+    /// config's storage/execution split. The 0.6 default reproduces the
+    /// historical `* 6 / 10` integer math bit-for-bit (see
+    /// [`yafim_cluster::storage_capacity`]).
+    pub fn with_fraction(spec: &ClusterSpec, storage_fraction: f64) -> Self {
+        Self::with_capacity(
+            spec.nodes as usize,
+            yafim_cluster::storage_capacity(spec.memory_per_node, storage_fraction),
+        )
     }
 
     /// Explicit per-node capacity (tests and the cache-pressure ablation).

@@ -89,7 +89,10 @@ impl Context {
     pub fn with_config(cluster: SimCluster, config: RddConfig) -> Self {
         let cache = match config.cache_capacity_per_node {
             Some(cap) => CacheManager::with_capacity(cluster.spec().nodes as usize, cap),
-            None => CacheManager::new(cluster.spec()),
+            None => CacheManager::with_fraction(
+                cluster.spec(),
+                cluster.scheduler_config().storage_fraction,
+            ),
         };
         Context {
             inner: Arc::new(CtxInner {

@@ -29,8 +29,8 @@ use crate::shuffle::ShuffleStage;
 use crate::task::TaskContext;
 use std::sync::Arc;
 use yafim_cluster::{
-    slice_bytes, EventKind, FaultError, NodeId, RecoveryCounters, SimDuration, StageExecution,
-    TaskExecution, TaskProfile, TaskSpec,
+    fx_hash64, memgov, slice_bytes, EventKind, FaultError, MemoryRefusal, NodeId, RecoveryCounters,
+    SimDuration, StageExecution, TaskExecution, TaskProfile, TaskSpec,
 };
 
 /// A job could not complete under the active fault plan.
@@ -51,6 +51,30 @@ pub enum ExecError {
         /// What was corrupted and why it is unrepairable.
         detail: String,
     },
+    /// A task exhausted its OOM retry ladder: even the whole-node memory
+    /// slice (each retry doubles the grant, modelling reduced concurrency)
+    /// could not satisfy an acquisition. The job is killed rather than
+    /// returning a partial result.
+    OutOfMemory {
+        /// Label of the stage whose task died.
+        stage: String,
+        /// Partition whose task exhausted its retries.
+        partition: usize,
+        /// Acquisition site that overflowed (see
+        /// [`yafim_cluster::memgov::site`]).
+        site: u64,
+        /// Bytes the failing acquisition asked for.
+        bytes: u64,
+        /// Attempts consumed (first run plus retries).
+        attempts: u32,
+    },
+    /// Driver-side admission control refused the job before running it:
+    /// its smallest viable per-task footprint cannot fit the execution
+    /// budget even with full borrowing from storage.
+    MemoryRefused {
+        /// Required vs available bytes per task.
+        refusal: MemoryRefusal,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -62,6 +86,19 @@ impl std::fmt::Display for ExecError {
             ExecError::IntegrityFailure { detail } => {
                 write!(f, "data integrity failure: {detail}")
             }
+            ExecError::OutOfMemory {
+                stage,
+                partition,
+                site,
+                bytes,
+                attempts,
+            } => write!(
+                f,
+                "stage `{stage}` out of memory: partition {partition} could not \
+                 acquire {bytes} bytes for its {} after {attempts} attempts",
+                memgov::site::name(*site)
+            ),
+            ExecError::MemoryRefused { refusal } => write!(f, "{refusal}"),
         }
     }
 }
@@ -70,7 +107,9 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::StageAborted { source, .. } => Some(source),
-            ExecError::IntegrityFailure { .. } => None,
+            ExecError::IntegrityFailure { .. }
+            | ExecError::OutOfMemory { .. }
+            | ExecError::MemoryRefused { .. } => None,
         }
     }
 }
@@ -119,22 +158,43 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
 
     sync_node_losses(ctx);
 
+    // One memory budget and OOM hash key per stage: every task reserves
+    // against the same deterministic slice, and rolls are keyed by
+    // (stage, partition, attempt) so a given plan always denies the same
+    // acquisitions regardless of host-thread interleaving.
+    let budget = cluster.memory_budget();
+    let stage_key = fx_hash64(&(label.as_str(), cluster.metrics().now().as_secs().to_bits()));
+
     let preferred_for_tasks = preferred.clone();
-    let outcomes: Vec<(R, TaskProfile)> =
+    let outcomes: Vec<(R, TaskProfile, Option<yafim_cluster::OomAbort>)> =
         cluster
             .pool()
             .map((0..partitions).collect::<Vec<usize>>(), move |_, part| {
                 let node = preferred_for_tasks[part].unwrap_or_else(|| spec.home_node(part));
-                let tc = TaskContext::new(part, node);
+                let tc = TaskContext::with_memory(part, node, budget, stage_key);
                 let r = task(part, &tc);
-                (r, tc.into_profile())
+                let abort = tc.oom_abort();
+                (r, tc.into_profile(), abort)
             });
+
+    // A task that exhausted its OOM retry ladder kills the whole job with a
+    // typed error; partial results never escape. Scanned in partition order
+    // so the reported task is deterministic.
+    if let Some(abort) = outcomes.iter().find_map(|(_, _, a)| *a) {
+        return Err(ExecError::OutOfMemory {
+            stage: label,
+            partition: abort.partition,
+            site: abort.site,
+            bytes: abort.bytes,
+            attempts: abort.attempts,
+        });
+    }
 
     let cost = cluster.cost();
     let specs: Vec<TaskSpec> = outcomes
         .iter()
         .zip(&preferred)
-        .map(|((_, profile), pref)| TaskSpec {
+        .map(|((_, profile, _), pref)| TaskSpec {
             duration: SimDuration::from_secs(cost.spark_task_overhead)
                 + profile.work.data_time(cost),
             preferred_node: *pref,
@@ -181,7 +241,7 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
     };
 
     let faults = cluster.faults();
-    let (detailed, recovery, trailing) = if faults.active() {
+    let (detailed, mut recovery, trailing) = if faults.active() {
         // Node-loss instants are absolute; anchor them to this stage's task
         // window (stage start + queue wait + overhead).
         let window_start =
@@ -201,6 +261,13 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
             SimDuration::ZERO,
         )
     };
+
+    // The governor's per-task outcomes roll up into the stage's recovery
+    // block (peak merges with max, the rest sum), so reports, manifests and
+    // the critical path see memory pressure next to the other fault counters.
+    for (_, profile, _) in &outcomes {
+        recovery.mem.merge(&profile.mem);
+    }
 
     // Map piece placements back to partitions: a partition ran where its
     // first piece ran; only the first piece carries the real profile so
@@ -236,7 +303,7 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
         })
         .collect();
 
-    feed_registry(ctx, &tasks, &recovery);
+    feed_registry(ctx, &tasks, &recovery, budget.map_or(0, |b| b.node_limit));
 
     cluster.metrics().record_stage_with_recovery(
         StageExecution {
@@ -259,7 +326,10 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
         skew_splits,
     );
 
-    Ok((outcomes.into_iter().map(|(r, _)| r).collect(), executed_on))
+    Ok((
+        outcomes.into_iter().map(|(r, _, _)| r).collect(),
+        executed_on,
+    ))
 }
 
 /// Feed the cluster's typed metrics registry from one finished stage: task
@@ -268,7 +338,12 @@ pub(crate) fn try_run_stage<R: Send + 'static>(
 /// Every metric is created even when zero, so manifests carry a stable name
 /// set; histograms are observed in partition order on the driver thread, so
 /// their float sums are deterministic.
-fn feed_registry(ctx: &Context, tasks: &[TaskExecution], recovery: &RecoveryCounters) {
+fn feed_registry(
+    ctx: &Context,
+    tasks: &[TaskExecution],
+    recovery: &RecoveryCounters,
+    task_budget_bytes: u64,
+) {
     let registry = ctx.cluster().registry();
     registry.counter("executor.stages").inc(1);
     registry.counter("executor.tasks").inc(tasks.len() as u64);
@@ -317,8 +392,29 @@ fn feed_registry(ctx: &Context, tasks: &[TaskExecution], recovery: &RecoveryCoun
             "integrity.repaired_via_resubmit",
             recovery.integrity.repaired_via_resubmit,
         ),
+        ("mem.spills", recovery.mem.spills),
+        ("mem.spill_bytes", recovery.mem.spill_bytes),
+        ("mem.degradations", recovery.mem.degradations),
+        ("mem.oom_injected", recovery.mem.oom_injected),
+        ("mem.oom_killed", recovery.mem.oom_killed),
+        (
+            "mem.oom_survived_by_degradation",
+            recovery.mem.oom_survived_by_degradation,
+        ),
     ] {
         registry.counter(name).inc(v);
+    }
+    // High-water marks, not sums: the run's peak is the max over stages.
+    let peak = registry.gauge("mem.peak_execution_bytes");
+    if recovery.mem.peak_execution_bytes as f64 > peak.get() {
+        peak.set(recovery.mem.peak_execution_bytes as f64);
+    }
+    // The hard per-task cap a fully-backed-off retry may grow into (the
+    // node's evictable memory): per-task peaks can never exceed it, which
+    // the bench gate checks as a coherence rule.
+    let budget_gauge = registry.gauge("mem.task_budget_bytes");
+    if task_budget_bytes as f64 > budget_gauge.get() {
+        budget_gauge.set(task_budget_bytes as f64);
     }
     let stats = ctx.cache().stats();
     registry

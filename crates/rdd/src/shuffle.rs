@@ -31,8 +31,8 @@ use std::hash::Hash;
 use std::sync::{Arc, Weak};
 use yafim_cluster::sync::Mutex;
 use yafim_cluster::{
-    bucket_of, fx_hash64, slice_bytes, EventKind, FxHashMap, IntegrityCounters, IntegrityTier,
-    NodeId, RecoveryCounters, TransientKind,
+    bucket_of, fx_hash64, memgov, slice_bytes, EventKind, FxHashMap, IntegrityCounters,
+    IntegrityTier, NodeId, RecoveryCounters, TransientKind,
 };
 
 /// A shuffle's map side, to be run before any stage that reads it.
@@ -317,6 +317,11 @@ where
                     total_records += b.len() as u64;
                     total_bytes += slice_bytes(b);
                 }
+                // The combine buffer is execution memory; when the governor
+                // denies it (budget overflow or injected OOM) the buffer
+                // spills through local disk — `try_reserve` charges the
+                // extra round trip, results are unchanged.
+                tc.try_reserve(total_bytes, memgov::site::SHUFFLE_COMBINE, true);
                 tc.add_records_out(total_records);
                 tc.add_ser(total_bytes);
                 tc.add_disk_write(total_bytes); // shuffle file write

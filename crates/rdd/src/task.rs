@@ -1,7 +1,9 @@
 //! Per-task execution context.
 
 use std::cell::Cell;
-use yafim_cluster::{NodeId, TaskProfile, WorkCounters};
+use yafim_cluster::{
+    MemGrant, MemoryBudget, NodeId, OomAbort, TaskMemory, TaskProfile, WorkCounters,
+};
 
 /// Handed to every task closure. Carries the task's identity and the work
 //  counters that drive virtual-time accounting, plus attribution counters
@@ -17,16 +19,68 @@ pub struct TaskContext {
     /// Virtual node the task runs on (locality decision made by the driver).
     pub node: NodeId,
     profile: Cell<TaskProfile>,
+    /// Execution-memory ledger (inert unless the fault plan arms the
+    /// governor).
+    memory: TaskMemory,
 }
 
 impl TaskContext {
-    /// New context for `partition` running on `node`.
+    /// New context for `partition` running on `node`, without an armed
+    /// memory governor.
     pub fn new(partition: usize, node: NodeId) -> Self {
+        Self::with_memory(partition, node, None, 0)
+    }
+
+    /// New context carrying the stage's execution-memory budget (`None`
+    /// keeps the governor inert). `stage_key` seeds the OOM rolls so one
+    /// plan always denies the same acquisitions of the same stage.
+    pub fn with_memory(
+        partition: usize,
+        node: NodeId,
+        budget: Option<MemoryBudget>,
+        stage_key: u64,
+    ) -> Self {
         TaskContext {
             partition,
             node,
             profile: Cell::new(TaskProfile::new()),
+            memory: TaskMemory::new(budget, stage_key, partition),
         }
+    }
+
+    /// Reserve `bytes` of execution memory for the structure tagged `site`
+    /// (see [`yafim_cluster::memgov::site`]). Applies the governor's
+    /// deterministic effects — counters, pressure stalls, spill disk I/O —
+    /// to this task's profile and returns the grant decision. A free
+    /// [`MemGrant::Granted`] no-op when the governor is unarmed.
+    pub fn try_reserve(&self, bytes: u64, site: u64, degradable: bool) -> MemGrant {
+        if !self.memory.armed() {
+            return MemGrant::Granted;
+        }
+        let (grant, fx) = self.memory.try_reserve(bytes, site, degradable);
+        self.update(|p| {
+            p.mem.merge(&fx.mem);
+            if fx.stall_micros > 0 {
+                p.work.add_stall_micros(fx.stall_micros);
+            }
+            if fx.spill_disk_bytes > 0 {
+                p.work.add_disk_write(fx.spill_disk_bytes);
+                p.work.add_disk_read(fx.spill_disk_bytes);
+            }
+        });
+        grant
+    }
+
+    /// Return previously reserved execution bytes (a structure was
+    /// dropped before the task finished).
+    pub fn release_memory(&self, bytes: u64) {
+        self.memory.release(bytes);
+    }
+
+    /// Whether some reservation exhausted its OOM retry ladder: the stage
+    /// must abort with a typed out-of-memory error.
+    pub fn oom_abort(&self) -> Option<OomAbort> {
+        self.memory.abort()
     }
 
     fn update(&self, f: impl FnOnce(&mut TaskProfile)) {
@@ -187,6 +241,47 @@ mod tests {
         assert_eq!(p.records_written, 4);
         assert_eq!(p.bytes_materialized, 64);
         assert_eq!(p.work, WorkCounters::new(), "attribution is time-neutral");
+    }
+
+    #[test]
+    fn unarmed_context_reserves_for_free() {
+        let tc = TaskContext::new(0, NodeId(0));
+        assert_eq!(
+            tc.try_reserve(u64::MAX, yafim_cluster::memgov::site::TRIANGLE, false),
+            MemGrant::Granted
+        );
+        assert!(tc.oom_abort().is_none());
+        let p = tc.into_profile();
+        assert_eq!(p, TaskProfile::new(), "inert governor leaves no trace");
+    }
+
+    #[test]
+    fn armed_context_applies_governor_effects_to_the_profile() {
+        use yafim_cluster::{ClusterSpec, CostModel, FaultPlan};
+        let plan = FaultPlan::seeded(0).with_mem_budget(1000);
+        let budget = MemoryBudget::from_plan(
+            &ClusterSpec::new(1, 1, yafim_cluster::spec::GIB),
+            0.6,
+            &CostModel::default(),
+            &plan,
+        );
+        let tc = TaskContext::with_memory(0, NodeId(0), budget, 1);
+        // Fits the 400-byte execution slice: peak tracked, nothing else.
+        assert_eq!(
+            tc.try_reserve(100, yafim_cluster::memgov::site::TRIANGLE, false),
+            MemGrant::Granted
+        );
+        // A 5000-byte combine buffer cannot fit: spills through disk.
+        assert_eq!(
+            tc.try_reserve(5000, yafim_cluster::memgov::site::SHUFFLE_COMBINE, true),
+            MemGrant::Spill
+        );
+        let p = tc.into_profile();
+        assert_eq!(p.mem.peak_execution_bytes, 100);
+        assert_eq!(p.mem.spills, 1);
+        assert_eq!(p.mem.spill_bytes, 5000);
+        assert_eq!(p.work.disk_write_bytes, 5000, "spill round trip charged");
+        assert_eq!(p.work.disk_read_bytes, 5000);
     }
 
     #[test]

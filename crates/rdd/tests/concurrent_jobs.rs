@@ -10,7 +10,7 @@ use yafim_cluster::{
     critical_path, ClusterSpec, CostModel, FaultPlan, JobQueue, NodeId, PoolSpec, SimCluster,
     SimDuration, SimInstant,
 };
-use yafim_rdd::{Context, ExecMode, Rdd, RddConfig};
+use yafim_rdd::{Context, ExecMode, Rdd, RddConfig, StorageLevel};
 
 /// Tiny deterministic generator for test inputs (splitmix64).
 struct Rng(u64);
@@ -196,6 +196,128 @@ fn concurrent_jobs_match_sequential_runs_bit_for_bit() {
                     assert!(
                         report.buckets.scheduler_queue > 0.0,
                         "case {case} {mode:?}: FIFO successor charged no queue time"
+                    );
+                }
+            }
+            assert_eq!(queue.jobs_completed(), defs.len() as u64);
+        }
+    }
+}
+
+/// Fair-pool jobs under a starved memory budget: the governor's per-task
+/// slice rounds to zero so every shuffle combine buffer spills through
+/// local disk, a 64-byte cache demotes every `MemoryAndDisk` partition to
+/// the disk tier, and one job additionally loses a node — yet every
+/// result stays byte-identical to an unbound, unbudgeted solo run.
+/// Memory pressure, like pool grants and faults, may only move virtual
+/// time, never data.
+#[test]
+fn tight_budget_jobs_spill_and_match_solo_runs() {
+    // 1 byte/node: storage rounds to 0, the per-core execution slice to 0,
+    // so any non-empty combine buffer overflows and takes the spill rung.
+    const TIGHT_BUDGET: u64 = 1;
+
+    let mut rng = Rng(0xb007_1e55);
+    for case in 0..CASES / 2 {
+        let data = rng.data(100);
+        let parts = rng.range(2, 8) as usize;
+        let len = rng.range(1, 5) as usize;
+        let plan = random_plan(&mut rng, len);
+        let fault_seed = rng.next();
+
+        for mode in [ExecMode::Fused, ExecMode::Eager] {
+            // Solo reference: unbound cluster, no queue, no budget.
+            let reference = {
+                let c = ctx_on(small_cluster(), mode);
+                let rdd = build(&c, &data, parts, &plan).persist(StorageLevel::MemoryAndDisk);
+                let once = rdd.collect();
+                assert_eq!(once, rdd.collect(), "solo re-read must be stable");
+                once
+            };
+
+            let queue = JobQueue::new(NODES);
+            queue.add_pool(PoolSpec::fair("interactive", 2.0));
+            queue.add_pool(PoolSpec::fair("batch", 1.0));
+            // The node loss rides on the interactive job: its 4-node fair
+            // grant survives losing one; a 1-node batch grant would not.
+            let defs = [("interactive", true), ("batch", false), ("batch", false)];
+            let tickets: Vec<_> = defs
+                .iter()
+                .map(|(pool, _)| queue.submit(pool, "tight"))
+                .collect();
+
+            let handles: Vec<_> = defs
+                .iter()
+                .zip(tickets)
+                .map(|(&(pool, faulted), ticket)| {
+                    let data = data.clone();
+                    let plan = plan.clone();
+                    std::thread::spawn(move || {
+                        let cluster = small_cluster();
+                        let mut fp = FaultPlan::seeded(fault_seed).with_mem_budget(TIGHT_BUDGET);
+                        if faulted {
+                            let (lo, _) = ticket.grant();
+                            fp = fp.lose_node_at(
+                                NodeId(lo as u32),
+                                SimInstant::EPOCH + SimDuration::from_secs(0.01),
+                            );
+                        }
+                        cluster.faults().set_plan(fp);
+                        cluster.attach_job(&ticket);
+                        let guard = cluster.acquire_job(pool, "tight");
+                        let mut config = RddConfig::for_cluster(&cluster);
+                        config.exec_mode = mode;
+                        // A zero-byte cache: every non-empty MemoryAndDisk
+                        // partition demotes straight to the disk tier.
+                        config.cache_capacity_per_node = Some(0);
+                        let c = Context::with_config(cluster.clone(), config);
+                        let rdd =
+                            build(&c, &data, parts, &plan).persist(StorageLevel::MemoryAndDisk);
+                        let first = rdd.collect();
+                        let second = rdd.collect();
+                        drop(guard);
+                        let disk_hits = c.cache().stats().disk_hits;
+                        (first, second, disk_hits, cluster)
+                    })
+                })
+                .collect();
+
+            for (i, h) in handles.into_iter().enumerate() {
+                let (first, second, disk_hits, cluster) = h.join().unwrap();
+                let (pool, faulted) = defs[i];
+                assert_eq!(
+                    first, reference,
+                    "case {case} {mode:?}: job {i} ({pool}) diverged under the tight budget"
+                );
+                assert_eq!(
+                    second, reference,
+                    "case {case} {mode:?}: job {i} ({pool}) re-read diverged"
+                );
+                let rec = cluster.metrics().snapshot().recovery;
+                assert!(
+                    rec.mem.spills > 0 && rec.mem.spill_bytes > 0,
+                    "case {case} {mode:?}: job {i} ({pool}) never spilled a combine buffer"
+                );
+                assert_eq!(
+                    rec.mem.oom_killed, 0,
+                    "case {case} {mode:?}: degradable spills must never kill a task"
+                );
+                if !reference.is_empty() {
+                    assert!(
+                        disk_hits > 0,
+                        "case {case} {mode:?}: job {i} ({pool}) never served a \
+                         MemoryAndDisk partition from the disk tier"
+                    );
+                }
+                if faulted {
+                    assert!(
+                        rec.nodes_lost >= 1,
+                        "case {case}: planted node loss never fired"
+                    );
+                } else {
+                    assert_eq!(
+                        rec.nodes_lost, 0,
+                        "case {case}: job {i} ({pool}) lost a node"
                     );
                 }
             }

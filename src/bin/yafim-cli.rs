@@ -32,6 +32,7 @@ fn usage() -> ! {
   yafim-cli generate --dataset <mushroom|t10|chess|pumsb|medical> --out <file.dat> [--scale X]
   yafim-cli mine     --input <file.dat> --support <N|P%> [--miner <sequential|eclat|fpgrowth|spark|mapreduce|son|pfp>]
                      [--phase2 <paper|opt|bitmap>] [--nodes N] [--cores C] [--locality-wait SECS]
+                     [--memory-fraction FRAC]
                      [--rules MIN_CONF] [--top K]
                      [--fault-plan plan.json] [--timeline] [--report] [--trace out.json]
                      [--critical-path] [--manifest out.json]
@@ -107,6 +108,23 @@ fn cluster() -> SimCluster {
             _ => {
                 eprintln!("bad --locality-wait (expected seconds >= 0): {w}");
                 exit(2)
+            }
+        }
+    }
+    // `--memory-fraction FRAC` — the storage (cache) share of each node's
+    // memory; the rest is the execution region the memory governor budgets
+    // tasks against. Must land in (0, 1]; the 0.6 default reproduces the
+    // historical split bit-for-bit.
+    if let Some(f) = arg("--memory-fraction") {
+        match f.parse::<f64>() {
+            Ok(frac) if frac > 0.0 && frac <= 1.0 => {
+                let mut cfg = c.scheduler_config();
+                cfg.storage_fraction = frac;
+                c.set_scheduler_config(cfg);
+            }
+            _ => {
+                eprintln!("bad --memory-fraction (expected a fraction in (0, 1]): {f}");
+                exit(1)
             }
         }
     }
@@ -326,6 +344,10 @@ fn cmd_mine() {
                 ("nodes", (c.spec().nodes as u64).into()),
                 ("cores_per_node", (c.spec().cores_per_node as u64).into()),
                 ("locality_wait", c.scheduler_config().locality_wait.into()),
+                (
+                    "storage_fraction",
+                    c.scheduler_config().storage_fraction.into(),
+                ),
             ]);
             let mut manifest =
                 yafim::cluster::RunManifest::capture("yafim-cli mine", &miner, dataset, config, c);
